@@ -1,0 +1,317 @@
+// Benchmarks regenerating every figure of the paper's evaluation plus the
+// ablations called out in DESIGN.md. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The Fig benchmarks measure the full experiment (scene build, sensing,
+// fusion, detection, evaluation); the SPOD and substrate benchmarks
+// isolate pipeline stages.
+package cooper_test
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"cooper"
+	"cooper/internal/experiments"
+	"cooper/internal/fusion"
+	"cooper/internal/geom"
+	"cooper/internal/lidar"
+	"cooper/internal/network"
+	"cooper/internal/pointcloud"
+	"cooper/internal/roi"
+	"cooper/internal/scene"
+	"cooper/internal/spod"
+)
+
+// benchFigure runs one experiment generator end to end.
+func benchFigure(b *testing.B, fig int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		suite := experiments.NewSuite()
+		if err := experiments.Run(suite, fig, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig02KITTIExample(b *testing.B)     { benchFigure(b, 2) }
+func BenchmarkFig03KITTIScenarios(b *testing.B)   { benchFigure(b, 3) }
+func BenchmarkFig04KITTIAccuracy(b *testing.B)    { benchFigure(b, 4) }
+func BenchmarkFig05TJExample(b *testing.B)        { benchFigure(b, 5) }
+func BenchmarkFig06TJScenarios(b *testing.B)      { benchFigure(b, 6) }
+func BenchmarkFig07TJAccuracy(b *testing.B)       { benchFigure(b, 7) }
+func BenchmarkFig08ImprovementCDF(b *testing.B)   { benchFigure(b, 8) }
+func BenchmarkFig09DetectionTime(b *testing.B)    { benchFigure(b, 9) }
+func BenchmarkFig10GPSDrift(b *testing.B)         { benchFigure(b, 10) }
+func BenchmarkFig11ROICategories(b *testing.B)    { benchFigure(b, 11) }
+func BenchmarkFig12DataVolume(b *testing.B)       { benchFigure(b, 12) }
+func BenchmarkFig13CodecFeasibility(b *testing.B) { benchFigure(b, 13) }
+
+// --- Fig. 9 isolation: the detector alone on single vs merged clouds ---
+
+func scanPair(sc *scene.Scenario) (*pointcloud.Cloud, *pointcloud.Cloud) {
+	runner := cooper.NewScenarioRunner(sc)
+	vi := runner.Vehicle(0)
+	vj := runner.Vehicle(1)
+	ci := vi.Sense(sc.Scene.Targets(), sc.Scene.GroundZ)
+	cj := vj.Sense(sc.Scene.Targets(), sc.Scene.GroundZ)
+	merged := fusion.Fuse(vi.State(), vj.State(), ci, cj)
+	return ci, merged
+}
+
+func BenchmarkSPODSingleShot16Beam(b *testing.B) {
+	single, _ := scanPair(scene.TJScenarios()[0])
+	det := spod.NewDefault()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det.Detect(single)
+	}
+}
+
+func BenchmarkSPODCooperative16Beam(b *testing.B) {
+	_, merged := scanPair(scene.TJScenarios()[0])
+	det := spod.New(spod.CoopConfig(spod.DefaultConfig(), 15))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det.Detect(merged)
+	}
+}
+
+func BenchmarkSPODSingleShot64Beam(b *testing.B) {
+	single, _ := scanPair(scene.KITTIScenarios()[0])
+	cfg := spod.DefaultConfig()
+	cfg.VerticalFOVTop = lidar.HDL64().MaxElevation()
+	det := spod.New(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det.Detect(single)
+	}
+}
+
+func BenchmarkSPODCooperative64Beam(b *testing.B) {
+	_, merged := scanPair(scene.KITTIScenarios()[0])
+	cfg := spod.DefaultConfig()
+	cfg.VerticalFOVTop = lidar.HDL64().MaxElevation()
+	det := spod.New(spod.CoopConfig(cfg, 15))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det.Detect(merged)
+	}
+}
+
+// --- Ablation: SPOD vs the naive clustering baseline on sparse data ---
+
+func BenchmarkDetectorComparisonSPOD(b *testing.B) {
+	single, _ := scanPair(scene.TJScenarios()[1])
+	det := spod.NewDefault()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det.Detect(single)
+	}
+}
+
+func BenchmarkDetectorComparisonClusterBaseline(b *testing.B) {
+	single, _ := scanPair(scene.TJScenarios()[1])
+	det := spod.NewClusterDetector()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det.Detect(single)
+	}
+}
+
+// --- Ablation: sparse vs dense convolution over realistic occupancy ---
+
+func middleTensor(b *testing.B) (*spod.SparseTensor, geom.AABB) {
+	b.Helper()
+	single, _ := scanPair(scene.TJScenarios()[0])
+	// Bound the region so the dense-equivalent grid stays tractable.
+	single = single.CropRange(0, 40)
+	ground := single.EstimateGroundZ()
+	nonGround := single.RemoveGroundPlane(ground, 0.25)
+	grid := spod.Voxelize(nonGround, 0.2, 0.25, ground)
+	t := &spod.SparseTensor{Features: make(map[pointcloud.VoxelKey][]float64, len(grid.Cells))}
+	for k, f := range grid.Cells {
+		t.Features[k] = []float64{f.Density, f.SpanZ, f.MeanIntensity}
+	}
+	bounds, _ := nonGround.Bounds()
+	return t, bounds
+}
+
+func BenchmarkSparseConv(b *testing.B) {
+	tensor, _ := middleTensor(b)
+	layer := spod.DefaultMiddleLayers()[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		layer.Apply(tensor)
+	}
+}
+
+func BenchmarkDenseConvEquivalent(b *testing.B) {
+	// The same convolution evaluated densely over the tensor's bounding
+	// grid — what a non-sparse middle layer would pay. The paper adopts
+	// sparse convolution precisely because LiDAR voxel grids are mostly
+	// empty.
+	tensor, bounds := middleTensor(b)
+	layer := spod.DefaultMiddleLayers()[0]
+	nx := int(bounds.Size().X/0.2) + 1
+	ny := int(bounds.Size().Y/0.2) + 1
+	nz := int(bounds.Size().Z/0.25) + 1
+	if nx*ny*nz > 40_000_000 {
+		b.Skip("dense grid too large for this host")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Visit every dense site; reuse the sparse kernel at each.
+		var sum float64
+		for x := 0; x < nx; x++ {
+			for y := 0; y < ny; y++ {
+				for z := 0; z < nz; z++ {
+					var acc [3]float64
+					for dz := int32(-1); dz <= 1; dz++ {
+						for dy := int32(-1); dy <= 1; dy++ {
+							for dx := int32(-1); dx <= 1; dx++ {
+								nb, ok := tensor.Features[pointcloud.VoxelKey{X: int32(x) + dx, Y: int32(y) + dy, Z: int32(z) + dz}]
+								if !ok {
+									continue
+								}
+								tap := layer.Spatial[dz+1][dy+1][dx+1]
+								for c := 0; c < 3; c++ {
+									acc[c] += tap * nb[c]
+								}
+							}
+						}
+					}
+					sum += acc[0]
+				}
+			}
+		}
+		_ = sum
+	}
+}
+
+// --- Ablation: voxel size sweep ---
+
+func benchVoxelSize(b *testing.B, size float64) {
+	single, _ := scanPair(scene.TJScenarios()[0])
+	cfg := spod.DefaultConfig()
+	cfg.VoxelSizeXY = size
+	det := spod.New(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det.Detect(single)
+	}
+}
+
+func BenchmarkVoxelSize10cm(b *testing.B) { benchVoxelSize(b, 0.10) }
+func BenchmarkVoxelSize20cm(b *testing.B) { benchVoxelSize(b, 0.20) }
+func BenchmarkVoxelSize40cm(b *testing.B) { benchVoxelSize(b, 0.40) }
+
+// --- Ablation: ROI extraction vs full-frame payloads ---
+
+func BenchmarkROIExtractionFullFrame(b *testing.B) {
+	single, _ := scanPair(scene.TJScenarios()[0])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := roi.PayloadBytes(single, roi.CategoryFullFrame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkROIExtractionFrontFOV(b *testing.B) {
+	single, _ := scanPair(scene.TJScenarios()[0])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := roi.PayloadBytes(single, roi.CategoryFrontFOV); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Substrate micro-benchmarks ---
+
+func BenchmarkWireCodecQuantized(b *testing.B) {
+	single, _ := scanPair(scene.TJScenarios()[0])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc, err := pointcloud.EncodeQuantized(single)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := pointcloud.Decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWireCodecRaw(b *testing.B) {
+	single, _ := scanPair(scene.TJScenarios()[0])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pointcloud.Decode(pointcloud.EncodeRaw(single)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLiDARScan16Beam(b *testing.B) {
+	sc := scene.TJScenarios()[0]
+	scanner := lidar.NewScanner(sc.LiDAR, 1)
+	targets := sc.Scene.Targets()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scanner.ScanFrom(sc.Poses[0], targets, sc.Scene.GroundZ)
+	}
+}
+
+func BenchmarkLiDARScan64Beam(b *testing.B) {
+	sc := scene.KITTIScenarios()[0]
+	scanner := lidar.NewScanner(sc.LiDAR, 1)
+	targets := sc.Scene.Targets()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scanner.ScanFrom(sc.Poses[0], targets, sc.Scene.GroundZ)
+	}
+}
+
+func BenchmarkAlignAndMerge(b *testing.B) {
+	sc := scene.TJScenarios()[0]
+	runner := cooper.NewScenarioRunner(sc)
+	vi, vj := runner.Vehicle(0), runner.Vehicle(1)
+	ci := vi.Sense(sc.Scene.Targets(), sc.Scene.GroundZ)
+	cj := vj.Sense(sc.Scene.Targets(), sc.Scene.GroundZ)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fusion.Fuse(vi.State(), vj.State(), ci, cj)
+	}
+}
+
+func BenchmarkICPRefinement(b *testing.B) {
+	single, _ := scanPair(scene.TJScenarios()[0])
+	offset := geom.NewTransform(0.01, 0, 0, geom.V3(0.2, 0.15, 0))
+	shifted := single.Transform(offset)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fusion.RefineAlignment(single, shifted, fusion.DefaultICPConfig())
+	}
+}
+
+func BenchmarkDSRCModel(b *testing.B) {
+	ch := network.DefaultDSRC()
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch.TransmitTime(rng.Intn(1 << 20))
+	}
+}
+
+func BenchmarkIoUBEV(b *testing.B) {
+	b1 := geom.NewBox(geom.V3(0, 0, 0.78), 3.9, 1.6, 1.56, 0.3)
+	b2 := geom.NewBox(geom.V3(1, 0.5, 0.78), 3.9, 1.6, 1.56, 0.9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		geom.IoUBEV(b1, b2)
+	}
+}

@@ -1,0 +1,139 @@
+// Command coopernode demonstrates Cooper over a real network transport:
+// a serving vehicle shares its LiDAR frames over TCP, and a requesting
+// vehicle fetches them, fuses and detects.
+//
+//	coopernode -serve 127.0.0.1:7777 -scenario "TJ-Scenario 1" -pose 1
+//	coopernode -connect 127.0.0.1:7777 -scenario "TJ-Scenario 1" -pose 0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cooper/internal/core"
+	"cooper/internal/fusion"
+	"cooper/internal/network"
+	"cooper/internal/scene"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "coopernode:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	serve := flag.String("serve", "", "address to serve a vehicle's frames on")
+	connect := flag.String("connect", "", "address of a serving vehicle")
+	scenarioName := flag.String("scenario", "TJ-Scenario 1", "scenario providing world and poses")
+	pose := flag.Int("pose", 0, "pose index this node embodies")
+	flag.Parse()
+
+	var sc *scene.Scenario
+	for _, s := range scene.AllScenarios() {
+		if s.Name == *scenarioName {
+			sc = s
+			break
+		}
+	}
+	if sc == nil {
+		return fmt.Errorf("unknown scenario %q", *scenarioName)
+	}
+	if *pose < 0 || *pose >= len(sc.Poses) {
+		return fmt.Errorf("pose %d out of range (scenario has %d)", *pose, len(sc.Poses))
+	}
+
+	vehicle := makeVehicle(sc, *pose)
+	vehicle.Sense(sc.Scene.Targets(), sc.Scene.GroundZ)
+
+	switch {
+	case *serve != "":
+		return serveVehicle(vehicle, *serve)
+	case *connect != "":
+		return requestAndFuse(vehicle, *connect)
+	default:
+		return fmt.Errorf("specify -serve or -connect")
+	}
+}
+
+func makeVehicle(sc *scene.Scenario, pose int) *core.Vehicle {
+	p := sc.Poses[pose]
+	state := fusion.VehicleState{
+		GPS:         p.T,
+		Yaw:         p.R.Yaw(),
+		MountHeight: sc.LiDAR.MountHeight,
+	}
+	return core.NewVehicle(sc.PoseLabels[pose], sc.LiDAR, state, sc.Seed+int64(pose)*997)
+}
+
+func serveVehicle(v *core.Vehicle, addr string) error {
+	l, err := network.Listen(addr)
+	if err != nil {
+		return err
+	}
+	defer l.Close()
+	fmt.Printf("%s serving frames on %s\n", v.ID, l.Addr())
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		if err := serveOne(v, conn); err != nil {
+			fmt.Fprintln(os.Stderr, "serving:", err)
+		}
+	}
+}
+
+func serveOne(v *core.Vehicle, conn *network.Transport) error {
+	defer conn.Close()
+	req, err := conn.Receive()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("request from %s (type %d)\n", req.Sender, req.Type)
+	pkg, err := v.PreparePackage(nil)
+	if err != nil {
+		return err
+	}
+	return conn.Send(network.Message{
+		Type:    network.MsgFullScan,
+		Sender:  pkg.SenderID,
+		State:   pkg.State,
+		Payload: pkg.Payload,
+	})
+}
+
+func requestAndFuse(v *core.Vehicle, addr string) error {
+	conn, err := network.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+
+	if err := conn.Send(network.Message{Type: network.MsgROIRequest, Sender: v.ID, State: v.State()}); err != nil {
+		return err
+	}
+	reply, err := conn.Receive()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("received %d KB frame from %s\n", len(reply.Payload)/1024, reply.Sender)
+
+	singles, _, err := v.Detect()
+	if err != nil {
+		return err
+	}
+	pkg := core.ExchangePackage{SenderID: reply.Sender, State: reply.State, Payload: reply.Payload}
+	coop, stats, err := v.CooperativeDetect(pkg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("single shot: %d cars; cooperative: %d cars (detection %v)\n",
+		len(singles), len(coop), stats.Total.Round(1e6))
+	for _, d := range coop {
+		fmt.Printf("  car at (%6.1f, %6.1f) score %.2f\n", d.Box.Center.X, d.Box.Center.Y, d.Score)
+	}
+	return nil
+}

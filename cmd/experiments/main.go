@@ -1,0 +1,50 @@
+// Command experiments regenerates the paper's evaluation figures.
+//
+//	experiments -fig 3      # one figure
+//	experiments -all        # every figure, in order
+//	experiments -list       # available figures
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cooper/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fig := flag.Int("fig", 0, "figure number to regenerate (2-13)")
+	all := flag.Bool("all", false, "regenerate every figure")
+	list := flag.Bool("list", false, "list available figures")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("available figures:", experiments.Figures())
+		return nil
+	}
+
+	suite := experiments.NewSuite()
+	switch {
+	case *all:
+		for _, f := range experiments.Figures() {
+			if err := experiments.Run(suite, f, os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		return nil
+	case *fig != 0:
+		return experiments.Run(suite, *fig, os.Stdout)
+	default:
+		flag.Usage()
+		return fmt.Errorf("specify -fig N, -all or -list")
+	}
+}

@@ -1,0 +1,170 @@
+// Package cooper is a Go implementation of Cooper — cooperative
+// perception for connected autonomous vehicles based on 3D point clouds
+// (Chen, Tang, Yang, Fu; ICDCS 2019).
+//
+// Cooper lets a vehicle merge its own LiDAR sensing with raw point clouds
+// received from nearby vehicles: clouds are aligned with GPS/IMU rigid
+// transforms, merged at the data level, and fed to the SPOD detector,
+// which keeps working on sparse (16-beam) data. Merging extends the
+// sensing area, raises detection confidence and recovers objects neither
+// vehicle could detect alone — while the exchanged data fits DSRC-class
+// vehicular network bandwidth.
+//
+// The package is a facade over the implementation packages:
+//
+//	geom        3D math: rotations (Eq. 1), rigid transforms (Eq. 3), boxes, IoU
+//	pointcloud  clouds, merging (Eq. 2), filters, wire codecs
+//	lidar       spinning multi-beam LiDAR simulation (VLP-16 … HDL-64E)
+//	scene       procedural road and parking scenes, paper scenarios
+//	spod        the SPOD 3D car detector (spherical preprocessing, voxel
+//	            features, sparse convolution, RPN-style proposals, NMS)
+//	fusion      GPS/IMU alignment, drift model, ICP refinement
+//	roi         region-of-interest extraction and background subtraction
+//	network     DSRC channel model, wire messages, TCP transport
+//	core        vehicles, exchange packages, cooperative detection
+//	eval        matching, detection matrices, accuracy, CDFs
+//
+// A minimal cooperative round trip:
+//
+//	rx := cooper.NewVehicle("rx", cooper.VLP16(), rxState, 1)
+//	tx := cooper.NewVehicle("tx", cooper.VLP16(), txState, 2)
+//	rx.Sense(targets, 0)
+//	tx.Sense(targets, 0)
+//	pkg, _ := tx.PreparePackage(nil)
+//	dets, _, _ := rx.CooperativeDetect(pkg)
+package cooper
+
+import (
+	"cooper/internal/core"
+	"cooper/internal/eval"
+	"cooper/internal/fusion"
+	"cooper/internal/geom"
+	"cooper/internal/lidar"
+	"cooper/internal/pointcloud"
+	"cooper/internal/scene"
+	"cooper/internal/spod"
+)
+
+// Geometry types.
+type (
+	// Vec3 is a 3D vector in metres.
+	Vec3 = geom.Vec3
+	// Box is an upright oriented 3D bounding box.
+	Box = geom.Box
+	// Transform is a rigid transform (rotation + translation, Eq. 3).
+	Transform = geom.Transform
+)
+
+// Point-cloud types.
+type (
+	// Cloud is a LiDAR point cloud.
+	Cloud = pointcloud.Cloud
+	// Point is one LiDAR return.
+	Point = pointcloud.Point
+)
+
+// Sensing and scene types.
+type (
+	// LiDARConfig describes a LiDAR device model.
+	LiDARConfig = lidar.Config
+	// LiDARTarget is scene geometry a ray can hit.
+	LiDARTarget = lidar.Target
+	// Scene is a collection of world objects.
+	Scene = scene.Scene
+	// Scenario is a complete evaluation setup from the paper.
+	Scenario = scene.Scenario
+)
+
+// Cooper system types.
+type (
+	// Vehicle is a connected autonomous vehicle.
+	Vehicle = core.Vehicle
+	// VehicleState is a GPS/IMU pose report.
+	VehicleState = fusion.VehicleState
+	// ExchangePackage is the §II-D exchange unit: encoded cloud + state.
+	ExchangePackage = core.ExchangePackage
+	// Detection is one detected car with its confidence score.
+	Detection = spod.Detection
+	// Detector runs the SPOD pipeline.
+	Detector = spod.Detector
+	// DetectorConfig parameterises SPOD.
+	DetectorConfig = spod.Config
+	// DetectorStats is per-stage instrumentation of one detection pass.
+	DetectorStats = spod.Stats
+	// DriftMode selects a Fig. 10 GPS skew regime.
+	DriftMode = fusion.DriftMode
+	// CaseOutcome is a full single-vs-cooperative case evaluation.
+	CaseOutcome = core.CaseOutcome
+	// ScenarioRunner evaluates a scenario's cooperative cases.
+	ScenarioRunner = core.ScenarioRunner
+	// RunOptions adjusts a case run (drift injection, ICP, ROI filter).
+	RunOptions = core.RunOptions
+	// Cell is one entry of a detection matrix (score / miss / out of area).
+	Cell = eval.Cell
+)
+
+// LiDAR device presets.
+func VLP16() LiDARConfig { return lidar.VLP16() }
+
+// HDL32 returns the 32-beam Velodyne HDL-32E model.
+func HDL32() LiDARConfig { return lidar.HDL32() }
+
+// HDL64 returns the 64-beam Velodyne HDL-64E model (the KITTI sensor).
+func HDL64() LiDARConfig { return lidar.HDL64() }
+
+// NewVehicle creates a vehicle with the given LiDAR and pose; the seed
+// fixes sensing noise for reproducibility.
+func NewVehicle(id string, cfg LiDARConfig, state VehicleState, seed int64) *Vehicle {
+	return core.NewVehicle(id, cfg, state, seed)
+}
+
+// NewScene returns an empty world with ground at z = 0.
+func NewScene() *Scene { return scene.New() }
+
+// KITTIScenarios returns the paper's four 64-beam road scenarios (Fig. 3).
+func KITTIScenarios() []*Scenario { return scene.KITTIScenarios() }
+
+// TJScenarios returns the paper's four 16-beam parking scenarios (Fig. 6).
+func TJScenarios() []*Scenario { return scene.TJScenarios() }
+
+// AllScenarios returns the full 19-case evaluation suite.
+func AllScenarios() []*Scenario { return scene.AllScenarios() }
+
+// NewScenarioRunner prepares a scenario for case-by-case evaluation.
+func NewScenarioRunner(sc *Scenario) *core.ScenarioRunner {
+	return core.NewScenarioRunner(sc)
+}
+
+// DefaultDetectorConfig returns the SPOD configuration used in the
+// paper's evaluation.
+func DefaultDetectorConfig() DetectorConfig { return spod.DefaultConfig() }
+
+// NewDetector builds a SPOD detector.
+func NewDetector(cfg DetectorConfig) *Detector { return spod.New(cfg) }
+
+// Align maps a transmitter's cloud into the receiver's sensor frame
+// using both vehicles' GPS/IMU states (Eqs. 1 and 3).
+func Align(receiver, transmitter VehicleState, cloud *Cloud) *Cloud {
+	return fusion.Align(receiver, transmitter, cloud)
+}
+
+// Merge unions a receiver's cloud with aligned transmitter clouds (Eq. 2).
+func Merge(receiverCloud *Cloud, aligned ...*Cloud) *Cloud {
+	return fusion.Merge(receiverCloud, aligned...)
+}
+
+// Fuse aligns and merges in one step.
+func Fuse(receiver, transmitter VehicleState, receiverCloud, transmitterCloud *Cloud) *Cloud {
+	return fusion.Fuse(receiver, transmitter, receiverCloud, transmitterCloud)
+}
+
+// GPS drift regimes of the Fig. 10 robustness experiment.
+const (
+	DriftNone     = fusion.DriftNone
+	DriftBothAxes = fusion.DriftBothAxes
+	DriftOneAxis  = fusion.DriftOneAxis
+	DriftDouble   = fusion.DriftDouble
+)
+
+// MaxGPSDrift is the ≈10 cm positional error bound of integrated GPS/IMU.
+const MaxGPSDrift = fusion.MaxGPSDrift

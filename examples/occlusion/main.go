@@ -1,0 +1,44 @@
+// Occlusion: runs the paper's T-junction scenario (Fig. 3, scenario 1)
+// and prints the detection matrix — which cars each single shot finds,
+// which only the cooperative merge recovers, and how the detection scores
+// move.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cooper"
+)
+
+func main() {
+	scenario := cooper.KITTIScenarios()[0] // T-junction
+	runner := cooper.NewScenarioRunner(scenario)
+
+	fmt.Printf("%s — %d-beam LiDAR, %d ground-truth cars, Δd = %.1f m\n",
+		scenario.Name, scenario.LiDAR.BeamCount(), len(scenario.Scene.Cars()),
+		scenario.DeltaD(scenario.Cases[0]))
+
+	outcome, err := runner.RunCase(scenario.Cases[0], cooper.RunOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%-6s %-8s %-8s %-8s %s\n", "car", "t1", "t2", "t1+t2", "distance")
+	recovered := 0
+	for _, row := range outcome.Rows {
+		marker := ""
+		if row.Coop.Detected() && !row.I.Detected() && !row.J.Detected() {
+			marker = "  <- discovered only by fusion"
+			recovered++
+		}
+		fmt.Printf("%-6d %-8s %-8s %-8s %-8s%s\n",
+			row.CarID, row.I, row.J, row.Coop, row.Band, marker)
+	}
+	fmt.Printf("\npayload exchanged: %d KB; cooperative detection in %v\n",
+		outcome.PayloadBytes/1024, outcome.StatsCoop.Total.Round(1e6))
+	if recovered > 0 {
+		fmt.Printf("%d cars were invisible to both single shots and recovered by raw-data fusion —\n", recovered)
+		fmt.Println("object-level fusion could never have found them (paper §IV-D).")
+	}
+}

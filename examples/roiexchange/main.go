@@ -1,0 +1,105 @@
+// ROI exchange: demonstrates the paper's networking story (§IV-G) with a
+// real TCP transport. A serving vehicle shares region-of-interest
+// extracts of its frame; the client compares the three ROI categories'
+// payloads against DSRC capacity, then fuses the full frame and detects.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cooper"
+	"cooper/internal/core"
+	"cooper/internal/network"
+	"cooper/internal/roi"
+)
+
+func main() {
+	scenario := cooper.TJScenarios()[0]
+	world := scenario.Scene
+
+	// Two vehicles from the scenario.
+	rx := makeVehicle(scenario, 0)
+	tx := makeVehicle(scenario, 2)
+	rx.Sense(world.Targets(), world.GroundZ)
+	tx.Sense(world.Targets(), world.GroundZ)
+
+	// The transmitter serves frames over TCP on an ephemeral local port.
+	listener, err := network.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer listener.Close()
+	go serve(tx, listener)
+
+	// Compare the three ROI categories' payloads (Figs. 11–12).
+	channel := network.DefaultDSRC()
+	fmt.Println("ROI exchange categories (1 Hz):")
+	for _, cat := range []roi.Category{roi.CategoryFullFrame, roi.CategoryFrontFOV, roi.CategoryLeadView} {
+		bytes, err := roi.PayloadBytes(tx.Cloud(), cat)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sched := network.ExchangeSchedule{RateHz: 1, FrameBytes: bytes, Directions: roi.Transmissions(cat)}
+		fmt.Printf("  %-28s %6.2f Mbit/s  fits %v Mbit/s DSRC: %v\n",
+			cat, sched.MbitPerSecond(), channel.DataRateMbps, sched.FitsChannel(channel))
+	}
+
+	// Fetch the full frame over the wire and fuse.
+	conn, err := network.Dial(listener.Addr())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Send(network.Message{Type: network.MsgROIRequest, Sender: rx.ID, State: rx.State()}); err != nil {
+		log.Fatal(err)
+	}
+	reply, err := conn.Receive()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nreceived %d KB over TCP; transmit time on DSRC would be %v\n",
+		len(reply.Payload)/1024, channel.TransmitTime(len(reply.Payload)).Round(1e6))
+
+	single, _, err := rx.Detect()
+	if err != nil {
+		log.Fatal(err)
+	}
+	coop, _, err := rx.CooperativeDetect(core.ExchangePackage{
+		SenderID: reply.Sender, State: reply.State, Payload: reply.Payload,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("single shot %d cars -> cooperative %d cars\n", len(single), len(coop))
+}
+
+func makeVehicle(sc *cooper.Scenario, pose int) *cooper.Vehicle {
+	p := sc.Poses[pose]
+	return cooper.NewVehicle(sc.PoseLabels[pose], sc.LiDAR, cooper.VehicleState{
+		GPS: p.T, Yaw: p.R.Yaw(), MountHeight: sc.LiDAR.MountHeight,
+	}, sc.Seed+int64(pose)*997)
+}
+
+func serve(v *cooper.Vehicle, l *network.Listener) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		func() {
+			defer conn.Close()
+			if _, err := conn.Receive(); err != nil {
+				return
+			}
+			pkg, err := v.PreparePackage(nil)
+			if err != nil {
+				return
+			}
+			_ = conn.Send(network.Message{
+				Type: network.MsgFullScan, Sender: pkg.SenderID,
+				State: pkg.State, Payload: pkg.Payload,
+			})
+		}()
+	}
+}

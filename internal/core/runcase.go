@@ -1,0 +1,271 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"cooper/internal/eval"
+	"cooper/internal/fusion"
+	"cooper/internal/geom"
+	"cooper/internal/pointcloud"
+	"cooper/internal/scene"
+	"cooper/internal/spod"
+)
+
+// AreaRange returns the detection-area radius used when classifying
+// ground-truth objects as in or out of a pose's detection area: 70 m for
+// the 64-beam KITTI-like data, 45 m for the much sparser 16-beam T&J-like
+// data (§IV uses the "actual detection distance of LiDAR").
+func AreaRange(ds scene.Dataset) float64 {
+	if ds == scene.DatasetTJ {
+		return 45
+	}
+	return 70
+}
+
+// CarRow is one row of the Fig. 3/6 detection matrices: one ground-truth
+// car with its three cells (single shot i, single shot j, cooperative).
+type CarRow struct {
+	CarID int
+	// Band is the distance colouring relative to the receiving vehicle.
+	Band eval.DistanceBand
+	// I, J and Coop are the three column cells.
+	I, J, Coop eval.Cell
+}
+
+// CaseOutcome is everything one cooperative case produces.
+type CaseOutcome struct {
+	Scenario *scene.Scenario
+	Case     scene.CoopCase
+	// DeltaD is the inter-vehicle distance.
+	DeltaD float64
+	// Rows holds the per-car detection matrix.
+	Rows []CarRow
+	// Detections per column.
+	DetsI, DetsJ, DetsCoop []spod.Detection
+	// Stats per column (detection latency, stage instrumentation).
+	StatsI, StatsJ, StatsCoop spod.Stats
+	// FPI, FPJ, FPCoop count unmatched detections per column.
+	FPI, FPJ, FPCoop int
+	// PayloadBytes is the wire size of the exchanged (quantized) cloud.
+	PayloadBytes int
+	// CloudPointsI/J/Coop are the detector input sizes.
+	CloudPointsI, CloudPointsJ, CloudPointsCoop int
+}
+
+// RunOptions adjusts a case run.
+type RunOptions struct {
+	// Drift skews the transmitter's reported GPS per Fig. 10.
+	Drift fusion.DriftMode
+	// DriftSeed fixes the drift directions.
+	DriftSeed int64
+	// UseICP enables the ICP alignment refinement after GPS alignment.
+	UseICP bool
+	// Filter optionally restricts the exchanged cloud (ROI categories).
+	Filter CloudFilter
+}
+
+// ScenarioRunner evaluates a scenario's cooperative cases. It caches each
+// pose's scan so that a pose shared by several cases (car1 in Fig. 6) is
+// sensed exactly once, matching the paper's reuse of captured frames.
+type ScenarioRunner struct {
+	sc       *scene.Scenario
+	vehicles []*Vehicle
+	clouds   []*pointcloud.Cloud // FOV-cropped, per pose
+}
+
+// NewScenarioRunner prepares vehicles for every pose of the scenario.
+func NewScenarioRunner(sc *scene.Scenario) *ScenarioRunner {
+	r := &ScenarioRunner{
+		sc:       sc,
+		vehicles: make([]*Vehicle, len(sc.Poses)),
+		clouds:   make([]*pointcloud.Cloud, len(sc.Poses)),
+	}
+	for i, pose := range sc.Poses {
+		state := fusion.VehicleState{
+			GPS:         pose.T,
+			Yaw:         pose.R.Yaw(),
+			Pitch:       pose.R.Pitch(),
+			Roll:        pose.R.Roll(),
+			MountHeight: sc.LiDAR.MountHeight,
+		}
+		v := NewVehicle(sc.PoseLabels[i], sc.LiDAR, state, sc.Seed+int64(i)*997)
+		cfg := spod.DefaultConfig()
+		cfg.VerticalFOVTop = sc.LiDAR.MaxElevation()
+		cfg.MaxDetectionRange = AreaRange(sc.Dataset)
+		v.SetDetector(spod.New(cfg))
+		r.vehicles[i] = v
+	}
+	return r
+}
+
+// Vehicle returns the prepared vehicle for a pose index.
+func (r *ScenarioRunner) Vehicle(i int) *Vehicle { return r.vehicles[i] }
+
+// cloudFor senses (once) and returns the pose's evaluation cloud, cropped
+// to the scenario's front FOV when one is defined.
+func (r *ScenarioRunner) cloudFor(i int) *pointcloud.Cloud {
+	if r.clouds[i] == nil {
+		cloud := r.vehicles[i].Sense(r.sc.Scene.Targets(), r.sc.Scene.GroundZ)
+		if r.sc.FrontFOV > 0 {
+			cloud = cloud.CropFOV(0, r.sc.FrontFOV/2)
+		}
+		r.clouds[i] = cloud
+	}
+	return r.clouds[i]
+}
+
+// inArea reports whether a car lies inside the detection area of the
+// given pose.
+func (r *ScenarioRunner) inArea(car scene.Object, poseIdx int) bool {
+	pose := r.sc.Poses[poseIdx]
+	dist := car.Box.Center.DistXY(pose.T)
+	if dist > AreaRange(r.sc.Dataset) {
+		return false
+	}
+	if r.sc.FrontFOV > 0 {
+		rel := pose.Inverse().Apply(car.Box.Center)
+		az := math.Atan2(rel.Y, rel.X)
+		if math.Abs(az) > r.sc.FrontFOV/2 {
+			return false
+		}
+	}
+	return true
+}
+
+// column evaluates one detection column: which in-area cars were found
+// and with what score.
+func columnCells(truthBoxes []geom.Box, inArea []bool, dets []spod.Detection) ([]eval.Cell, int) {
+	// Match only against in-area truths.
+	var idxs []int
+	var boxes []geom.Box
+	for i, ok := range inArea {
+		if ok {
+			idxs = append(idxs, i)
+			boxes = append(boxes, truthBoxes[i])
+		}
+	}
+	assignment, fps := eval.Match(boxes, dets, eval.DefaultMatchIoU)
+	cells := make([]eval.Cell, len(truthBoxes))
+	for i := range cells {
+		cells[i] = eval.OutOfArea()
+	}
+	for k, t := range idxs {
+		if assignment[k] >= 0 {
+			cells[t] = eval.Score(dets[assignment[k]].Score)
+		} else {
+			cells[t] = eval.Miss()
+		}
+	}
+	return cells, len(fps)
+}
+
+// RunCase executes one cooperative case: two single shots and the merged
+// Cooper pass, with the paper's cell bookkeeping.
+func (r *ScenarioRunner) RunCase(c scene.CoopCase, opts RunOptions) (*CaseOutcome, error) {
+	sc := r.sc
+	vi, vj := r.vehicles[c.I], r.vehicles[c.J]
+	cloudI := r.cloudFor(c.I)
+	cloudJ := r.cloudFor(c.J)
+
+	out := &CaseOutcome{
+		Scenario:     sc,
+		Case:         c,
+		DeltaD:       sc.DeltaD(c),
+		CloudPointsI: cloudI.Len(),
+		CloudPointsJ: cloudJ.Len(),
+	}
+
+	out.DetsI, out.StatsI = vi.DetectOn(cloudI)
+	out.DetsJ, out.StatsJ = vj.DetectOn(cloudJ)
+
+	// Exchange: j transmits its (optionally ROI-filtered) cloud to i.
+	filter := opts.Filter
+	if sc.FrontFOV > 0 {
+		fov := sc.FrontFOV
+		inner := filter
+		filter = func(cl *pointcloud.Cloud) *pointcloud.Cloud {
+			cl = cl.CropFOV(0, fov/2)
+			if inner != nil {
+				cl = inner(cl)
+			}
+			return cl
+		}
+	}
+	pkg, err := vj.PreparePackage(filter)
+	if err != nil {
+		return nil, fmt.Errorf("case %s: %w", c.Name, err)
+	}
+	out.PayloadBytes = pkg.PayloadBytes()
+	if opts.Drift != 0 && opts.Drift != fusion.DriftNone {
+		rng := rand.New(rand.NewSource(opts.DriftSeed))
+		pkg.State = fusion.ApplyDrift(pkg.State, opts.Drift, rng)
+	}
+
+	aligned, err := vi.ReceivePackage(pkg)
+	if err != nil {
+		return nil, fmt.Errorf("case %s: %w", c.Name, err)
+	}
+	if opts.UseICP {
+		corr := fusion.RefineAlignment(cloudI, aligned, fusion.DefaultICPConfig())
+		aligned = aligned.Transform(corr)
+	}
+	merged := fusion.Merge(cloudI, aligned)
+	out.CloudPointsCoop = merged.Len()
+
+	// Cooperative pass: same pipeline with merged-cloud preprocessing and
+	// the detection area widened to the union of both vehicles' areas.
+	coopCfg := spod.CoopConfig(vi.detector.Config(), out.DeltaD)
+	out.DetsCoop, out.StatsCoop = spod.New(coopCfg).DetectWithStats(merged)
+
+	// Ground truth per column, in the observing vehicle's sensor frame.
+	cars := sc.Scene.Cars()
+	truthI := make([]geom.Box, len(cars))
+	truthJ := make([]geom.Box, len(cars))
+	inI := make([]bool, len(cars))
+	inJ := make([]bool, len(cars))
+	inCoop := make([]bool, len(cars))
+	trI := vi.SensorTransform()
+	trJ := vj.SensorTransform()
+	for k, car := range cars {
+		truthI[k] = car.Box.Transformed(trI)
+		truthJ[k] = car.Box.Transformed(trJ)
+		inI[k] = r.inArea(car, c.I)
+		inJ[k] = r.inArea(car, c.J)
+		inCoop[k] = inI[k] || inJ[k]
+	}
+
+	cellsI, fpI := columnCells(truthI, inI, out.DetsI)
+	cellsJ, fpJ := columnCells(truthJ, inJ, out.DetsJ)
+	cellsCoop, fpCoop := columnCells(truthI, inCoop, out.DetsCoop)
+	out.FPI, out.FPJ, out.FPCoop = fpI, fpJ, fpCoop
+
+	receiverPose := sc.Poses[c.I]
+	for k, car := range cars {
+		if !inCoop[k] {
+			continue // invisible to the whole case: no row in the figure
+		}
+		out.Rows = append(out.Rows, CarRow{
+			CarID: car.ID,
+			Band:  eval.BandFor(car.Box.Center.DistXY(receiverPose.T)),
+			I:     cellsI[k],
+			J:     cellsJ[k],
+			Coop:  cellsCoop[k],
+		})
+	}
+	return out, nil
+}
+
+// RunAll evaluates every cooperative case of the scenario.
+func (r *ScenarioRunner) RunAll(opts RunOptions) ([]*CaseOutcome, error) {
+	out := make([]*CaseOutcome, 0, len(r.sc.Cases))
+	for _, c := range r.sc.Cases {
+		o, err := r.RunCase(c, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}

@@ -1,0 +1,220 @@
+// Package dataset generates and stores the synthetic datasets standing in
+// for the paper's KITTI and T&J data. A dataset is a directory of frames;
+// each frame holds the raw sensor-frame point cloud in the KITTI Velodyne
+// binary layout (consecutive float32 x, y, z, reflectance), the vehicle's
+// GPS/IMU state, and the ground-truth car boxes — everything needed to
+// re-run cooperative perception offline.
+//
+// Layout:
+//
+//	<root>/<scenario>/
+//	    meta.json              dataset-level metadata
+//	    velodyne/000000.bin    raw float32 clouds, one per pose
+//	    labels/000000.json     per-frame pose + ground-truth boxes
+package dataset
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"cooper/internal/geom"
+	"cooper/internal/lidar"
+	"cooper/internal/pointcloud"
+	"cooper/internal/scene"
+)
+
+// Meta describes a stored scenario dataset.
+type Meta struct {
+	Name       string   `json:"name"`
+	Dataset    string   `json:"dataset"`
+	LiDARName  string   `json:"lidar"`
+	BeamCount  int      `json:"beam_count"`
+	FrameCount int      `json:"frame_count"`
+	PoseLabels []string `json:"pose_labels"`
+	Seed       int64    `json:"seed"`
+}
+
+// GroundTruthBox is a labelled car in world coordinates.
+type GroundTruthBox struct {
+	ID     int     `json:"id"`
+	X      float64 `json:"x"`
+	Y      float64 `json:"y"`
+	Z      float64 `json:"z"`
+	Length float64 `json:"length"`
+	Width  float64 `json:"width"`
+	Height float64 `json:"height"`
+	Yaw    float64 `json:"yaw"`
+}
+
+// Box converts the label to a geometry box.
+func (g GroundTruthBox) Box() geom.Box {
+	return geom.NewBox(geom.V3(g.X, g.Y, g.Z), g.Length, g.Width, g.Height, g.Yaw)
+}
+
+// Label is the per-frame sidecar: the capturing vehicle's state and the
+// scene ground truth.
+type Label struct {
+	PoseLabel   string           `json:"pose_label"`
+	GPS         [3]float64       `json:"gps"`
+	Yaw         float64          `json:"yaw"`
+	Pitch       float64          `json:"pitch"`
+	Roll        float64          `json:"roll"`
+	MountHeight float64          `json:"mount_height"`
+	Cars        []GroundTruthBox `json:"cars"`
+}
+
+// Frame is one loaded dataset entry.
+type Frame struct {
+	Index int
+	Cloud *pointcloud.Cloud
+	Label Label
+}
+
+// Generate renders a scenario to disk: one frame per pose.
+func Generate(sc *scene.Scenario, root string) error {
+	dir := filepath.Join(root, sanitize(sc.Name))
+	for _, sub := range []string{"velodyne", "labels"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return fmt.Errorf("dataset: creating %s: %w", sub, err)
+		}
+	}
+
+	cars := make([]GroundTruthBox, 0, len(sc.Scene.Cars()))
+	for _, car := range sc.Scene.Cars() {
+		cars = append(cars, GroundTruthBox{
+			ID: car.ID,
+			X:  car.Box.Center.X, Y: car.Box.Center.Y, Z: car.Box.Center.Z,
+			Length: car.Box.Length, Width: car.Box.Width, Height: car.Box.Height,
+			Yaw: car.Box.Yaw,
+		})
+	}
+
+	scanner := lidar.NewScanner(sc.LiDAR, sc.Seed)
+	for i, pose := range sc.Poses {
+		scan := scanner.ScanFrom(pose, sc.Scene.Targets(), sc.Scene.GroundZ)
+		if err := writeVelodyneBin(filepath.Join(dir, "velodyne", frameName(i, ".bin")), scan.Cloud); err != nil {
+			return err
+		}
+		label := Label{
+			PoseLabel:   sc.PoseLabels[i],
+			GPS:         [3]float64{pose.T.X, pose.T.Y, pose.T.Z},
+			Yaw:         pose.R.Yaw(),
+			Pitch:       pose.R.Pitch(),
+			Roll:        pose.R.Roll(),
+			MountHeight: sc.LiDAR.MountHeight,
+			Cars:        cars,
+		}
+		if err := writeJSON(filepath.Join(dir, "labels", frameName(i, ".json")), label); err != nil {
+			return err
+		}
+	}
+	meta := Meta{
+		Name:       sc.Name,
+		Dataset:    string(sc.Dataset),
+		LiDARName:  sc.LiDAR.Name,
+		BeamCount:  sc.LiDAR.BeamCount(),
+		FrameCount: len(sc.Poses),
+		PoseLabels: sc.PoseLabels,
+		Seed:       sc.Seed,
+	}
+	return writeJSON(filepath.Join(dir, "meta.json"), meta)
+}
+
+// Load reads a stored scenario dataset back.
+func Load(root, name string) (Meta, []Frame, error) {
+	dir := filepath.Join(root, sanitize(name))
+	var meta Meta
+	if err := readJSON(filepath.Join(dir, "meta.json"), &meta); err != nil {
+		return Meta{}, nil, err
+	}
+	frames := make([]Frame, 0, meta.FrameCount)
+	for i := 0; i < meta.FrameCount; i++ {
+		cloud, err := readVelodyneBin(filepath.Join(dir, "velodyne", frameName(i, ".bin")))
+		if err != nil {
+			return Meta{}, nil, err
+		}
+		var label Label
+		if err := readJSON(filepath.Join(dir, "labels", frameName(i, ".json")), &label); err != nil {
+			return Meta{}, nil, err
+		}
+		frames = append(frames, Frame{Index: i, Cloud: cloud, Label: label})
+	}
+	return meta, frames, nil
+}
+
+func frameName(i int, ext string) string { return fmt.Sprintf("%06d%s", i, ext) }
+
+func sanitize(name string) string {
+	out := make([]rune, 0, len(name))
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			out = append(out, r)
+		case r == ' ':
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// writeVelodyneBin stores a cloud as consecutive float32 quads — the
+// KITTI Velodyne layout.
+func writeVelodyneBin(path string, c *pointcloud.Cloud) error {
+	buf := make([]byte, 0, c.Len()*16)
+	for i := 0; i < c.Len(); i++ {
+		p := c.At(i)
+		for _, v := range []float64{p.X, p.Y, p.Z, p.Reflectance} {
+			buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(float32(v)))
+		}
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return fmt.Errorf("dataset: writing %s: %w", path, err)
+	}
+	return nil
+}
+
+func readVelodyneBin(path string) (*pointcloud.Cloud, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading %s: %w", path, err)
+	}
+	if len(data)%16 != 0 {
+		return nil, fmt.Errorf("dataset: %s: size %d not a multiple of 16", path, len(data))
+	}
+	c := pointcloud.New(len(data) / 16)
+	for off := 0; off < len(data); off += 16 {
+		c.AppendXYZR(
+			float64(math.Float32frombits(binary.LittleEndian.Uint32(data[off:]))),
+			float64(math.Float32frombits(binary.LittleEndian.Uint32(data[off+4:]))),
+			float64(math.Float32frombits(binary.LittleEndian.Uint32(data[off+8:]))),
+			float64(math.Float32frombits(binary.LittleEndian.Uint32(data[off+12:]))),
+		)
+	}
+	return c, nil
+}
+
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("dataset: encoding %s: %w", path, err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("dataset: writing %s: %w", path, err)
+	}
+	return nil
+}
+
+func readJSON(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("dataset: reading %s: %w", path, err)
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("dataset: decoding %s: %w", path, err)
+	}
+	return nil
+}

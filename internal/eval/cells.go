@@ -1,0 +1,134 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+)
+
+// sortSlice wraps sort.Slice for terse call sites.
+func sortSlice[T any](s []T, less func(a, b T) bool) {
+	sort.Slice(s, func(i, j int) bool { return less(s[i], s[j]) })
+}
+
+// CellKind classifies one cell of the Figs. 3/6 detection matrices.
+type CellKind int
+
+// Cell kinds: the paper's notation is a numeric detecting score for a
+// detection, an "X" for an object inside the detection area whose score
+// was too low, and an empty cell for an object outside the area.
+const (
+	CellOutOfArea CellKind = iota + 1
+	CellMiss
+	CellScore
+)
+
+// Cell is one entry of a detection matrix.
+type Cell struct {
+	Kind  CellKind
+	Score float64
+}
+
+// OutOfArea returns a blank cell.
+func OutOfArea() Cell { return Cell{Kind: CellOutOfArea} }
+
+// Miss returns an "X" cell.
+func Miss() Cell { return Cell{Kind: CellMiss} }
+
+// Score returns a detected cell with the given score.
+func Score(s float64) Cell { return Cell{Kind: CellScore, Score: s} }
+
+// Detected reports whether the cell holds a detection.
+func (c Cell) Detected() bool { return c.Kind == CellScore }
+
+// String renders the cell the way the paper prints it.
+func (c Cell) String() string {
+	switch c.Kind {
+	case CellScore:
+		return fmt.Sprintf("%.2f", c.Score)
+	case CellMiss:
+		return "X"
+	default:
+		return ""
+	}
+}
+
+// DistanceBand is the paper's three-scale distance colouring: near
+// (<10 m, white), medium (10–25 m, grey) and far (>25 m, black).
+type DistanceBand int
+
+// Distance bands of Figs. 3 and 6.
+const (
+	BandNear DistanceBand = iota + 1
+	BandMedium
+	BandFar
+)
+
+// BandFor classifies a ground distance into the paper's bands.
+func BandFor(dist float64) DistanceBand {
+	switch {
+	case dist < 10:
+		return BandNear
+	case dist <= 25:
+		return BandMedium
+	default:
+		return BandFar
+	}
+}
+
+// String implements fmt.Stringer.
+func (b DistanceBand) String() string {
+	switch b {
+	case BandNear:
+		return "near"
+	case BandMedium:
+		return "medium"
+	case BandFar:
+		return "far"
+	default:
+		return "unknown"
+	}
+}
+
+// Difficulty is the Fig. 8 object classification: easy objects are
+// detected by both single shots, moderate by exactly one, hard by
+// neither.
+type Difficulty int
+
+// Difficulty classes of §IV-E.
+const (
+	DifficultyEasy Difficulty = iota + 1
+	DifficultyModerate
+	DifficultyHard
+)
+
+// String implements fmt.Stringer.
+func (d Difficulty) String() string {
+	switch d {
+	case DifficultyEasy:
+		return "easy"
+	case DifficultyModerate:
+		return "moderate"
+	case DifficultyHard:
+		return "hard"
+	default:
+		return "unknown"
+	}
+}
+
+// ClassifyDifficulty derives the difficulty class from the two single-
+// shot cells. Objects outside both detection areas have no class; the
+// second return value reports whether the classification applies.
+func ClassifyDifficulty(i, j Cell) (Difficulty, bool) {
+	if i.Kind == CellOutOfArea && j.Kind == CellOutOfArea {
+		return 0, false
+	}
+	di, dj := i.Detected(), j.Detected()
+	switch {
+	case di && dj:
+		return DifficultyEasy, true
+	case di || dj:
+		return DifficultyModerate, true
+	default:
+		return DifficultyHard, true
+	}
+}

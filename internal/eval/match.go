@@ -1,0 +1,64 @@
+// Package eval implements the evaluation methodology of the paper's §IV:
+// matching detections against ground truth, the per-car cell notation of
+// Figs. 3 and 6 (a detection score, an "X" for a missed detection, or a
+// blank for an object outside the detection area), near/medium/far
+// distance bands, the easy/moderate/hard difficulty classes of Fig. 8,
+// detection-accuracy summaries and CDFs.
+package eval
+
+import (
+	"cooper/internal/geom"
+	"cooper/internal/spod"
+)
+
+// DefaultMatchIoU is the BEV IoU at which a detection claims a ground-
+// truth box. The paper judges detection visually against camera ground
+// truth; 0.3 BEV IoU is the conventional loose-localisation equivalent.
+const DefaultMatchIoU = 0.3
+
+// Match pairs detections with ground-truth boxes greedily by descending
+// IoU. Each detection and each truth box is used at most once.
+//
+// The returned slice maps each truth index to the matched detection index
+// or -1; unmatched detections are returned separately as false positives.
+func Match(truths []geom.Box, dets []spod.Detection, iouThresh float64) (assignment []int, falsePositives []int) {
+	assignment = make([]int, len(truths))
+	for i := range assignment {
+		assignment[i] = -1
+	}
+	type pair struct {
+		iou  float64
+		t, d int
+	}
+	var pairs []pair
+	for t := range truths {
+		for d := range dets {
+			if iou := geom.IoUBEV(truths[t], dets[d].Box); iou >= iouThresh {
+				pairs = append(pairs, pair{iou, t, d})
+			}
+		}
+	}
+	sortSlice(pairs, func(a, b pair) bool {
+		if a.iou != b.iou {
+			return a.iou > b.iou
+		}
+		if a.t != b.t {
+			return a.t < b.t
+		}
+		return a.d < b.d
+	})
+	usedDet := make([]bool, len(dets))
+	for _, p := range pairs {
+		if assignment[p.t] >= 0 || usedDet[p.d] {
+			continue
+		}
+		assignment[p.t] = p.d
+		usedDet[p.d] = true
+	}
+	for d := range dets {
+		if !usedDet[d] {
+			falsePositives = append(falsePositives, d)
+		}
+	}
+	return assignment, falsePositives
+}

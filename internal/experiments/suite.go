@@ -1,0 +1,132 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// (§IV): for each of Figs. 2–12 there is a generator that builds the
+// corresponding scenario, runs single-shot and cooperative perception
+// through the real Cooper pipeline, and prints the same rows and series
+// the paper reports. EXPERIMENTS.md records the paper-vs-measured
+// comparison produced by these generators.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"cooper/internal/core"
+	"cooper/internal/eval"
+	"cooper/internal/scene"
+)
+
+// Suite lazily runs and caches scenario outcomes so that figures sharing
+// the same underlying runs (3/4, 6/7/8/9) compute them once.
+type Suite struct {
+	kitti []*scene.Scenario
+	tj    []*scene.Scenario
+
+	outcomes map[string][]*core.CaseOutcome
+	runners  map[string]*core.ScenarioRunner
+}
+
+// NewSuite builds the eight-scenario evaluation suite.
+func NewSuite() *Suite {
+	return &Suite{
+		kitti:    scene.KITTIScenarios(),
+		tj:       scene.TJScenarios(),
+		outcomes: make(map[string][]*core.CaseOutcome),
+		runners:  make(map[string]*core.ScenarioRunner),
+	}
+}
+
+// KITTI returns the four road scenarios.
+func (s *Suite) KITTI() []*scene.Scenario { return s.kitti }
+
+// TJ returns the four parking-lot scenarios.
+func (s *Suite) TJ() []*scene.Scenario { return s.tj }
+
+// All returns all eight scenarios.
+func (s *Suite) All() []*scene.Scenario {
+	out := make([]*scene.Scenario, 0, len(s.kitti)+len(s.tj))
+	out = append(out, s.kitti...)
+	return append(out, s.tj...)
+}
+
+// Runner returns the cached runner for a scenario.
+func (s *Suite) Runner(sc *scene.Scenario) *core.ScenarioRunner {
+	r, ok := s.runners[sc.Name]
+	if !ok {
+		r = core.NewScenarioRunner(sc)
+		s.runners[sc.Name] = r
+	}
+	return r
+}
+
+// Outcomes runs (once) and returns all cooperative cases of a scenario.
+func (s *Suite) Outcomes(sc *scene.Scenario) ([]*core.CaseOutcome, error) {
+	if o, ok := s.outcomes[sc.Name]; ok {
+		return o, nil
+	}
+	o, err := s.Runner(sc).RunAll(core.RunOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("running %s: %w", sc.Name, err)
+	}
+	s.outcomes[sc.Name] = o
+	return o, nil
+}
+
+// Generator runs one figure's experiment, writing its report.
+type Generator func(s *Suite, w io.Writer) error
+
+// Registry maps figure numbers to generators. Figure 13 is the §IV-G
+// wire-codec / DSRC feasibility analysis (a claims table rather than a
+// plotted figure in the paper).
+func Registry() map[int]Generator {
+	return map[int]Generator{
+		2:  Fig2,
+		3:  Fig3,
+		4:  Fig4,
+		5:  Fig5,
+		6:  Fig6,
+		7:  Fig7,
+		8:  Fig8,
+		9:  Fig9,
+		10: Fig10,
+		11: Fig11,
+		12: Fig12,
+		13: Fig13,
+	}
+}
+
+// Run executes the generator for a figure number.
+func Run(s *Suite, fig int, w io.Writer) error {
+	g, ok := Registry()[fig]
+	if !ok {
+		return fmt.Errorf("experiments: no generator for figure %d", fig)
+	}
+	return g(s, w)
+}
+
+// Figures returns the available figure numbers in order.
+func Figures() []int {
+	reg := Registry()
+	out := make([]int, 0, len(reg))
+	for f := range reg {
+		out = append(out, f)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// columnCellsOf projects one column of a case's rows.
+func columnCellsOf(o *core.CaseOutcome, col int) []eval.Cell {
+	out := make([]eval.Cell, 0, len(o.Rows))
+	for _, r := range o.Rows {
+		switch col {
+		case 0:
+			out = append(out, r.I)
+		case 1:
+			out = append(out, r.J)
+		default:
+			out = append(out, r.Coop)
+		}
+	}
+	return out
+}

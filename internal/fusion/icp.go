@@ -1,0 +1,116 @@
+package fusion
+
+import (
+	"math"
+
+	"cooper/internal/geom"
+	"cooper/internal/pointcloud"
+)
+
+// ICPConfig controls the iterative-closest-point refinement.
+type ICPConfig struct {
+	// MaxIterations bounds the outer loop.
+	MaxIterations int
+	// MaxPairDistance discards correspondences farther apart than this.
+	MaxPairDistance float64
+	// ConvergenceDelta stops iterating once the pose update's translation
+	// falls below this, metres.
+	ConvergenceDelta float64
+	// MaxPoints subsamples the source cloud for speed.
+	MaxPoints int
+}
+
+// DefaultICPConfig returns a configuration suited to refining GPS-level
+// misalignment (decimetres) between vehicle scans.
+func DefaultICPConfig() ICPConfig {
+	return ICPConfig{
+		MaxIterations:    12,
+		MaxPairDistance:  1.0,
+		ConvergenceDelta: 0.002,
+		MaxPoints:        1500,
+	}
+}
+
+// RefineAlignment estimates a corrective transform that, applied after
+// the GPS/IMU alignment, better registers the transmitter's cloud against
+// the receiver's. It runs 2D (BEV) point-to-point ICP — vehicle pose error
+// is dominated by planar GPS drift — solving for yaw and (x, y) shift in
+// closed form per iteration via the cross-covariance method.
+//
+// This is the paper's future-work direction for handling sensor drift
+// beyond the robustness already shown in Fig. 10; the ablation benchmark
+// quantifies how much of the doubled-drift score loss it recovers.
+func RefineAlignment(reference, source *pointcloud.Cloud, cfg ICPConfig) geom.Transform {
+	correction := geom.IdentityTransform()
+	if reference.Len() == 0 || source.Len() == 0 {
+		return correction
+	}
+	// Ground returns dominate clouds and carry no lateral constraint;
+	// register on elevated structure only.
+	refZ := reference.EstimateGroundZ()
+	ref := reference.RemoveGroundPlane(refZ, 0.3)
+	srcZ := source.EstimateGroundZ()
+	src := source.RemoveGroundPlane(srcZ, 0.3)
+	if ref.Len() < 10 || src.Len() < 10 {
+		return correction
+	}
+	index := pointcloud.NewGridIndex(ref, cfg.MaxPairDistance)
+
+	stride := 1
+	if src.Len() > cfg.MaxPoints {
+		stride = src.Len() / cfg.MaxPoints
+	}
+
+	for iter := 0; iter < cfg.MaxIterations; iter++ {
+		// Gather correspondences under the current correction.
+		var sxs, sys, rxs, rys []float64
+		for i := 0; i < src.Len(); i += stride {
+			p := correction.Apply(src.At(i).Pos())
+			j, d := index.Nearest(p)
+			if j < 0 || d > cfg.MaxPairDistance {
+				continue
+			}
+			q := ref.At(j)
+			sxs = append(sxs, p.X)
+			sys = append(sys, p.Y)
+			rxs = append(rxs, q.X)
+			rys = append(rys, q.Y)
+		}
+		if len(sxs) < 8 {
+			return correction
+		}
+		// Closed-form 2D rigid fit (Umeyama/Procrustes without scale).
+		n := float64(len(sxs))
+		var msx, msy, mrx, mry float64
+		for i := range sxs {
+			msx += sxs[i]
+			msy += sys[i]
+			mrx += rxs[i]
+			mry += rys[i]
+		}
+		msx /= n
+		msy /= n
+		mrx /= n
+		mry /= n
+		var sxx, sxy, syx, syy float64
+		for i := range sxs {
+			dx, dy := sxs[i]-msx, sys[i]-msy
+			ex, ey := rxs[i]-mrx, rys[i]-mry
+			sxx += dx * ex
+			sxy += dx * ey
+			syx += dy * ex
+			syy += dy * ey
+		}
+		dyaw := math.Atan2(sxy-syx, sxx+syy)
+		c, s := math.Cos(dyaw), math.Sin(dyaw)
+		tx := mrx - (c*msx - s*msy)
+		ty := mry - (s*msx + c*msy)
+
+		update := geom.NewTransform(dyaw, 0, 0, geom.V3(tx, ty, 0))
+		correction = update.Compose(correction)
+		if math.Hypot(tx, ty) < cfg.ConvergenceDelta && math.Abs(dyaw) < 1e-4 {
+			break
+		}
+	}
+	return correction
+}

@@ -1,0 +1,93 @@
+package fusion
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cooper/internal/geom"
+	"cooper/internal/pointcloud"
+)
+
+// structuredCloud builds a cloud with walls and box-like structure so ICP
+// has features to register on, plus a ground plane it must ignore.
+func structuredCloud(seed int64) *pointcloud.Cloud {
+	rng := rand.New(rand.NewSource(seed))
+	c := pointcloud.New(3000)
+	// Ground.
+	for i := 0; i < 1200; i++ {
+		c.AppendXYZR(rng.Float64()*40-20, rng.Float64()*40-20, -1.73+rng.NormFloat64()*0.01, 0.2)
+	}
+	// Two perpendicular walls.
+	for i := 0; i < 700; i++ {
+		c.AppendXYZR(10+rng.NormFloat64()*0.02, rng.Float64()*16-8, rng.Float64()*2-1.5, 0.4)
+	}
+	for i := 0; i < 700; i++ {
+		c.AppendXYZR(rng.Float64()*16-8, 12+rng.NormFloat64()*0.02, rng.Float64()*2-1.5, 0.4)
+	}
+	// A car-like box cluster.
+	for i := 0; i < 400; i++ {
+		c.AppendXYZR(-5+rng.Float64()*3.9, -6+rng.Float64()*1.6, -1.5+rng.Float64()*1.4, 0.5)
+	}
+	return c
+}
+
+func TestRefineAlignmentRecoversOffset(t *testing.T) {
+	ref := structuredCloud(1)
+	offset := geom.NewTransform(0, 0, 0, geom.V3(0.25, -0.18, 0))
+	src := ref.Transform(offset)
+
+	corr := RefineAlignment(ref, src, DefaultICPConfig())
+	// The correction should approximately invert the offset.
+	want := offset.Inverse()
+	if math.Abs(corr.T.X-want.T.X) > 0.06 || math.Abs(corr.T.Y-want.T.Y) > 0.06 {
+		t.Errorf("correction T = %v, want ≈ %v", corr.T, want.T)
+	}
+}
+
+func TestRefineAlignmentRecoversSmallYaw(t *testing.T) {
+	ref := structuredCloud(2)
+	offset := geom.NewTransform(0.02, 0, 0, geom.V3(0.1, 0.1, 0))
+	src := ref.Transform(offset)
+
+	corr := RefineAlignment(ref, src, DefaultICPConfig())
+	residual := corr.Compose(offset)
+	if math.Abs(residual.R.Yaw()) > 0.008 {
+		t.Errorf("residual yaw = %v rad", residual.R.Yaw())
+	}
+	if residual.T.Norm() > 0.08 {
+		t.Errorf("residual translation = %v", residual.T.Norm())
+	}
+}
+
+func TestRefineAlignmentIdentityWhenAligned(t *testing.T) {
+	ref := structuredCloud(3)
+	corr := RefineAlignment(ref, ref.Clone(), DefaultICPConfig())
+	if corr.T.Norm() > 0.02 || math.Abs(corr.R.Yaw()) > 0.002 {
+		t.Errorf("already-aligned correction = %+v", corr)
+	}
+}
+
+func TestRefineAlignmentEmptyClouds(t *testing.T) {
+	empty := &pointcloud.Cloud{}
+	if corr := RefineAlignment(empty, empty, DefaultICPConfig()); !corr.AlmostEqual(geom.IdentityTransform(), 1e-12) {
+		t.Error("empty clouds should yield identity")
+	}
+	ref := structuredCloud(4)
+	if corr := RefineAlignment(ref, empty, DefaultICPConfig()); !corr.AlmostEqual(geom.IdentityTransform(), 1e-12) {
+		t.Error("empty source should yield identity")
+	}
+}
+
+func TestRefineAlignmentImprovesDriftedFusion(t *testing.T) {
+	// End-to-end: a doubled-drift misalignment (~0.28 m) refined by ICP
+	// should shrink below the baseline GPS bound.
+	ref := structuredCloud(5)
+	drift := geom.NewTransform(0, 0, 0, geom.V3(0.2, 0.2, 0))
+	src := ref.Transform(drift)
+	corr := RefineAlignment(ref, src, DefaultICPConfig())
+	residual := corr.Compose(drift)
+	if residual.T.Norm() > MaxGPSDrift {
+		t.Errorf("post-ICP residual %v m, want < %v m", residual.T.Norm(), MaxGPSDrift)
+	}
+}

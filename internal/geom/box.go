@@ -1,0 +1,171 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// AABB is an axis-aligned bounding box described by its two extreme
+// corners.
+type AABB struct {
+	Min, Max Vec3
+}
+
+// NewAABB returns the axis-aligned box spanning the two given corners,
+// normalising the component order.
+func NewAABB(a, b Vec3) AABB {
+	return AABB{
+		Min: Vec3{math.Min(a.X, b.X), math.Min(a.Y, b.Y), math.Min(a.Z, b.Z)},
+		Max: Vec3{math.Max(a.X, b.X), math.Max(a.Y, b.Y), math.Max(a.Z, b.Z)},
+	}
+}
+
+// Center returns the box centre.
+func (b AABB) Center() Vec3 { return b.Min.Add(b.Max).Scale(0.5) }
+
+// Size returns the edge lengths of the box.
+func (b AABB) Size() Vec3 { return b.Max.Sub(b.Min) }
+
+// Volume returns the volume of the box.
+func (b AABB) Volume() float64 {
+	s := b.Size()
+	if s.X <= 0 || s.Y <= 0 || s.Z <= 0 {
+		return 0
+	}
+	return s.X * s.Y * s.Z
+}
+
+// Contains reports whether p lies inside or on the boundary of b.
+func (b AABB) Contains(p Vec3) bool {
+	return p.X >= b.Min.X && p.X <= b.Max.X &&
+		p.Y >= b.Min.Y && p.Y <= b.Max.Y &&
+		p.Z >= b.Min.Z && p.Z <= b.Max.Z
+}
+
+// Expand grows the box by m metres in every direction.
+func (b AABB) Expand(m float64) AABB {
+	d := Vec3{m, m, m}
+	return AABB{Min: b.Min.Sub(d), Max: b.Max.Add(d)}
+}
+
+// Union returns the smallest box containing both b and other.
+func (b AABB) Union(other AABB) AABB {
+	return AABB{
+		Min: Vec3{math.Min(b.Min.X, other.Min.X), math.Min(b.Min.Y, other.Min.Y), math.Min(b.Min.Z, other.Min.Z)},
+		Max: Vec3{math.Max(b.Max.X, other.Max.X), math.Max(b.Max.Y, other.Max.Y), math.Max(b.Max.Z, other.Max.Z)},
+	}
+}
+
+// Intersects reports whether b and other overlap.
+func (b AABB) Intersects(other AABB) bool {
+	return b.Min.X <= other.Max.X && b.Max.X >= other.Min.X &&
+		b.Min.Y <= other.Max.Y && b.Max.Y >= other.Min.Y &&
+		b.Min.Z <= other.Max.Z && b.Max.Z >= other.Min.Z
+}
+
+// Box is an oriented 3D bounding box: a centre, full edge lengths and a yaw
+// rotation about the vertical axis. This is the box parameterisation used
+// by KITTI-style 3D object detection (boxes stay upright).
+type Box struct {
+	Center Vec3 // geometric centre of the box
+	// Length is the extent along the box's forward (heading) axis,
+	// Width across it, Height vertically. All in metres.
+	Length, Width, Height float64
+	// Yaw is the heading of the box around the vertical axis, radians.
+	Yaw float64
+}
+
+// NewBox constructs an oriented box.
+func NewBox(center Vec3, length, width, height, yaw float64) Box {
+	return Box{Center: center, Length: length, Width: width, Height: height, Yaw: yaw}
+}
+
+// Volume returns the volume of the box.
+func (b Box) Volume() float64 { return b.Length * b.Width * b.Height }
+
+// BottomZ returns the z coordinate of the box floor.
+func (b Box) BottomZ() float64 { return b.Center.Z - b.Height/2 }
+
+// TopZ returns the z coordinate of the box roof.
+func (b Box) TopZ() float64 { return b.Center.Z + b.Height/2 }
+
+// CornersBEV returns the box's four ground-plane corners in counterclockwise
+// order.
+func (b Box) CornersBEV() [4]Vec2 {
+	c, s := math.Cos(b.Yaw), math.Sin(b.Yaw)
+	hl, hw := b.Length/2, b.Width/2
+	// Local corners (forward-left, back-left, back-right, forward-right)
+	// chosen so the returned order is counterclockwise for yaw = 0.
+	local := [4]Vec2{{hl, hw}, {-hl, hw}, {-hl, -hw}, {hl, -hw}}
+	var out [4]Vec2
+	for i, p := range local {
+		out[i] = Vec2{
+			X: b.Center.X + c*p.X - s*p.Y,
+			Y: b.Center.Y + s*p.X + c*p.Y,
+		}
+	}
+	return out
+}
+
+// Corners returns the eight 3D corners of the box: the four BEV corners at
+// the floor height followed by the same four at the roof height.
+func (b Box) Corners() [8]Vec3 {
+	bev := b.CornersBEV()
+	var out [8]Vec3
+	for i, p := range bev {
+		out[i] = Vec3{p.X, p.Y, b.BottomZ()}
+		out[i+4] = Vec3{p.X, p.Y, b.TopZ()}
+	}
+	return out
+}
+
+// Contains reports whether p lies inside the oriented box.
+func (b Box) Contains(p Vec3) bool {
+	if p.Z < b.BottomZ() || p.Z > b.TopZ() {
+		return false
+	}
+	return b.ContainsBEV(p.XY())
+}
+
+// ContainsBEV reports whether the ground-plane projection of the box
+// contains q.
+func (b Box) ContainsBEV(q Vec2) bool {
+	c, s := math.Cos(-b.Yaw), math.Sin(-b.Yaw)
+	dx, dy := q.X-b.Center.X, q.Y-b.Center.Y
+	lx := c*dx - s*dy
+	ly := s*dx + c*dy
+	return math.Abs(lx) <= b.Length/2 && math.Abs(ly) <= b.Width/2
+}
+
+// AABB returns the axis-aligned bounding box enclosing the oriented box.
+func (b Box) AABB() AABB {
+	corners := b.CornersBEV()
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, c := range corners {
+		minX = math.Min(minX, c.X)
+		minY = math.Min(minY, c.Y)
+		maxX = math.Max(maxX, c.X)
+		maxY = math.Max(maxY, c.Y)
+	}
+	return AABB{
+		Min: Vec3{minX, minY, b.BottomZ()},
+		Max: Vec3{maxX, maxY, b.TopZ()},
+	}
+}
+
+// Transformed returns the box mapped through a rigid transform. Only the
+// yaw component of the rotation is retained (boxes stay upright), which is
+// exact for the planar vehicle motions used in the paper.
+func (b Box) Transformed(tr Transform) Box {
+	out := b
+	out.Center = tr.Apply(b.Center)
+	out.Yaw = WrapAngle(b.Yaw + tr.R.Yaw())
+	return out
+}
+
+// String implements fmt.Stringer.
+func (b Box) String() string {
+	return fmt.Sprintf("Box(center=%v lwh=%.2fx%.2fx%.2f yaw=%.1f°)",
+		b.Center, b.Length, b.Width, b.Height, Rad2Deg(b.Yaw))
+}

@@ -1,0 +1,52 @@
+package geom
+
+import "math"
+
+// IntersectionAreaBEV returns the ground-plane overlap area of two oriented
+// boxes.
+func IntersectionAreaBEV(a, b Box) float64 {
+	ca := a.CornersBEV()
+	cb := b.CornersBEV()
+	pa := ensureCCW(Polygon(ca[:]))
+	pb := ensureCCW(Polygon(cb[:]))
+	inter := IntersectConvex(pa, pb)
+	return inter.Area()
+}
+
+// IoUBEV returns the bird's-eye-view intersection-over-union of two
+// oriented boxes. The result is in [0, 1].
+func IoUBEV(a, b Box) float64 {
+	inter := IntersectionAreaBEV(a, b)
+	if inter <= 0 {
+		return 0
+	}
+	areaA := a.Length * a.Width
+	areaB := b.Length * b.Width
+	union := areaA + areaB - inter
+	if union <= 0 {
+		return 0
+	}
+	return Clamp(inter/union, 0, 1)
+}
+
+// IoU3D returns the volumetric intersection-over-union of two upright
+// oriented boxes: the BEV overlap times the vertical overlap, divided by
+// the union volume. The result is in [0, 1].
+func IoU3D(a, b Box) float64 {
+	interBEV := IntersectionAreaBEV(a, b)
+	if interBEV <= 0 {
+		return 0
+	}
+	zTop := math.Min(a.TopZ(), b.TopZ())
+	zBot := math.Max(a.BottomZ(), b.BottomZ())
+	dz := zTop - zBot
+	if dz <= 0 {
+		return 0
+	}
+	inter := interBEV * dz
+	union := a.Volume() + b.Volume() - inter
+	if union <= 0 {
+		return 0
+	}
+	return Clamp(inter/union, 0, 1)
+}

@@ -1,0 +1,112 @@
+package geom
+
+// Polygon is a simple 2D polygon with vertices in counterclockwise order.
+type Polygon []Vec2
+
+// Area returns the (positive) area of the polygon via the shoelace formula.
+// Polygons with clockwise winding yield the same positive area.
+func (p Polygon) Area() float64 {
+	if len(p) < 3 {
+		return 0
+	}
+	sum := 0.0
+	for i := 0; i < len(p); i++ {
+		j := (i + 1) % len(p)
+		sum += p[i].Cross(p[j])
+	}
+	if sum < 0 {
+		sum = -sum
+	}
+	return sum / 2
+}
+
+// Centroid returns the area centroid of the polygon. For degenerate
+// polygons it falls back to the vertex mean.
+func (p Polygon) Centroid() Vec2 {
+	if len(p) == 0 {
+		return Vec2{}
+	}
+	var cx, cy, a float64
+	for i := 0; i < len(p); i++ {
+		j := (i + 1) % len(p)
+		cross := p[i].Cross(p[j])
+		cx += (p[i].X + p[j].X) * cross
+		cy += (p[i].Y + p[j].Y) * cross
+		a += cross
+	}
+	if a == 0 {
+		var m Vec2
+		for _, v := range p {
+			m = m.Add(v)
+		}
+		return m.Scale(1 / float64(len(p)))
+	}
+	inv := 1 / (3 * a)
+	return Vec2{cx * inv, cy * inv}
+}
+
+// clipAgainstEdge clips the subject polygon by the half-plane to the left
+// of the directed edge a→b (Sutherland–Hodgman step). The clip polygon must
+// be convex and counterclockwise for the full algorithm to be correct.
+func clipAgainstEdge(subject Polygon, a, b Vec2) Polygon {
+	if len(subject) == 0 {
+		return nil
+	}
+	edge := b.Sub(a)
+	inside := func(p Vec2) bool { return edge.Cross(p.Sub(a)) >= 0 }
+	intersect := func(p, q Vec2) Vec2 {
+		// Solve cross(e, p + t·(q-p) - a) = 0 for t along segment p→q.
+		d := q.Sub(p)
+		denom := edge.Cross(d)
+		if denom == 0 {
+			return p
+		}
+		t := Clamp(edge.Cross(a.Sub(p))/denom, 0, 1)
+		return p.Add(d.Scale(t))
+	}
+
+	out := make(Polygon, 0, len(subject)+4)
+	for i := 0; i < len(subject); i++ {
+		cur := subject[i]
+		prev := subject[(i+len(subject)-1)%len(subject)]
+		curIn, prevIn := inside(cur), inside(prev)
+		switch {
+		case curIn && prevIn:
+			out = append(out, cur)
+		case curIn && !prevIn:
+			out = append(out, intersect(prev, cur), cur)
+		case !curIn && prevIn:
+			out = append(out, intersect(prev, cur))
+		}
+	}
+	return out
+}
+
+// IntersectConvex returns the intersection of two convex counterclockwise
+// polygons using Sutherland–Hodgman clipping.
+func IntersectConvex(subject, clip Polygon) Polygon {
+	out := subject
+	for i := 0; i < len(clip) && len(out) > 0; i++ {
+		a := clip[i]
+		b := clip[(i+1)%len(clip)]
+		out = clipAgainstEdge(out, a, b)
+	}
+	return out
+}
+
+// ensureCCW returns the polygon with counterclockwise winding.
+func ensureCCW(p Polygon) Polygon {
+	sum := 0.0
+	for i := 0; i < len(p); i++ {
+		j := (i + 1) % len(p)
+		sum += p[i].Cross(p[j])
+	}
+	if sum >= 0 {
+		return p
+	}
+	rev := make(Polygon, len(p))
+	for i, v := range p {
+		rev[len(p)-1-i] = v
+	}
+	return rev
+}

@@ -1,0 +1,101 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTransformIdentity(t *testing.T) {
+	tr := IdentityTransform()
+	p := V3(1, 2, 3)
+	if got := tr.Apply(p); got != p {
+		t.Errorf("identity transform moved %v to %v", p, got)
+	}
+}
+
+func TestTransformApply(t *testing.T) {
+	// Rotate 90° about z then translate by (10, 0, 0): point (1,0,0)
+	// should land on (10, 1, 0).
+	tr := NewTransform(math.Pi/2, 0, 0, V3(10, 0, 0))
+	got := tr.Apply(V3(1, 0, 0))
+	if !got.AlmostEqual(V3(10, 1, 0), 1e-12) {
+		t.Errorf("Apply = %v, want (10,1,0)", got)
+	}
+}
+
+func TestTransformInverseRoundTrip(t *testing.T) {
+	f := func(yaw, pitch, roll, tx, ty, tz, px, py, pz float64) bool {
+		yaw, pitch, roll = math.Mod(yaw, 3), math.Mod(pitch, 3), math.Mod(roll, 3)
+		tr := NewTransform(yaw, pitch, roll, V3(math.Mod(tx, 100), math.Mod(ty, 100), math.Mod(tz, 100)))
+		p := V3(math.Mod(px, 100), math.Mod(py, 100), math.Mod(pz, 100))
+		back := tr.Inverse().Apply(tr.Apply(p))
+		return back.AlmostEqual(p, 1e-8)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransformCompose(t *testing.T) {
+	a := NewTransform(0.3, 0, 0, V3(1, 2, 0))
+	b := NewTransform(-0.7, 0.1, 0, V3(-4, 0, 1))
+	p := V3(2, -1, 0.5)
+
+	sequential := a.Apply(b.Apply(p))
+	composed := a.Compose(b).Apply(p)
+	if !sequential.AlmostEqual(composed, 1e-10) {
+		t.Errorf("compose mismatch: sequential %v, composed %v", sequential, composed)
+	}
+}
+
+func TestTransformComposeAssociative(t *testing.T) {
+	f := func(y1, y2, y3, t1, t2, t3 float64) bool {
+		a := NewTransform(math.Mod(y1, 3), 0, 0, V3(math.Mod(t1, 50), 0, 0))
+		b := NewTransform(math.Mod(y2, 3), 0, 0, V3(0, math.Mod(t2, 50), 0))
+		c := NewTransform(math.Mod(y3, 3), 0, 0, V3(0, 0, math.Mod(t3, 50)))
+		l := a.Compose(b).Compose(c)
+		r := a.Compose(b.Compose(c))
+		return l.AlmostEqual(r, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransformInverseComposesToIdentity(t *testing.T) {
+	tr := NewTransform(1.1, -0.4, 0.2, V3(5, -3, 1))
+	id := tr.Compose(tr.Inverse())
+	if !id.AlmostEqual(IdentityTransform(), 1e-10) {
+		t.Errorf("tr ∘ tr⁻¹ = %+v, want identity", id)
+	}
+	id = tr.Inverse().Compose(tr)
+	if !id.AlmostEqual(IdentityTransform(), 1e-10) {
+		t.Errorf("tr⁻¹ ∘ tr = %+v, want identity", id)
+	}
+}
+
+func TestApplyDirIgnoresTranslation(t *testing.T) {
+	tr := NewTransform(math.Pi/2, 0, 0, V3(100, 200, 300))
+	got := tr.ApplyDir(V3(1, 0, 0))
+	if !got.AlmostEqual(V3(0, 1, 0), 1e-12) {
+		t.Errorf("ApplyDir = %v, want (0,1,0)", got)
+	}
+}
+
+// TestPaperEquation3 checks the exact shape of Eq. 3: the transmitter's
+// point is rotated by the IMU-difference rotation then shifted by the GPS
+// position difference.
+func TestPaperEquation3(t *testing.T) {
+	// Transmitter 20 m ahead of receiver, facing 90° left.
+	yawDiff := math.Pi / 2
+	gpsDelta := V3(20, 0, 0)
+	tr := NewTransform(yawDiff, 0, 0, gpsDelta)
+
+	// A point 5 m in front of the transmitter (its +x) should appear at
+	// receiver coordinates (20, 5, 0).
+	got := tr.Apply(V3(5, 0, 0))
+	if !got.AlmostEqual(V3(20, 5, 0), 1e-12) {
+		t.Errorf("Eq.3 mapping = %v, want (20,5,0)", got)
+	}
+}

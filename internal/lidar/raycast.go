@@ -1,0 +1,108 @@
+package lidar
+
+import (
+	"math"
+
+	"cooper/internal/geom"
+)
+
+// Target is something a LiDAR ray can hit: an upright oriented box with a
+// surface reflectivity, tagged with the scene object it belongs to.
+type Target struct {
+	// Box is the target's oriented bounding volume in world coordinates.
+	Box geom.Box
+	// Reflectivity in [0, 1] drives the simulated return intensity.
+	Reflectivity float64
+	// ObjectID links the target back to a scene object; -1 if untracked.
+	ObjectID int
+}
+
+// Ray is a half-line from Origin along the unit direction Dir.
+type Ray struct {
+	Origin geom.Vec3
+	Dir    geom.Vec3
+}
+
+// At returns the point at parameter t along the ray.
+func (r Ray) At(t float64) geom.Vec3 { return r.Origin.Add(r.Dir.Scale(t)) }
+
+// IntersectBox returns the smallest positive ray parameter at which the
+// ray enters the upright oriented box, and whether it hits at all. Rays
+// starting inside the box report the exit as a hit so points are never
+// generated behind the sensor housing.
+func IntersectBox(r Ray, b geom.Box) (float64, bool) {
+	// Move the ray into the box's local frame: translate then rotate by
+	// -yaw about z.
+	c, s := math.Cos(-b.Yaw), math.Sin(-b.Yaw)
+	o := r.Origin.Sub(b.Center)
+	lo := geom.Vec3{X: c*o.X - s*o.Y, Y: s*o.X + c*o.Y, Z: o.Z}
+	ld := geom.Vec3{X: c*r.Dir.X - s*r.Dir.Y, Y: s*r.Dir.X + c*r.Dir.Y, Z: r.Dir.Z}
+
+	half := geom.Vec3{X: b.Length / 2, Y: b.Width / 2, Z: b.Height / 2}
+	tmin, tmax := math.Inf(-1), math.Inf(1)
+
+	for _, axis := range [3][3]float64{
+		{lo.X, ld.X, half.X},
+		{lo.Y, ld.Y, half.Y},
+		{lo.Z, ld.Z, half.Z},
+	} {
+		origin, dir, h := axis[0], axis[1], axis[2]
+		if dir == 0 {
+			if origin < -h || origin > h {
+				return 0, false
+			}
+			continue
+		}
+		t1 := (-h - origin) / dir
+		t2 := (h - origin) / dir
+		if t1 > t2 {
+			t1, t2 = t2, t1
+		}
+		tmin = math.Max(tmin, t1)
+		tmax = math.Min(tmax, t2)
+		if tmin > tmax {
+			return 0, false
+		}
+	}
+	if tmax < 0 {
+		return 0, false // box entirely behind the ray
+	}
+	if tmin < 0 {
+		return tmax, true // ray starts inside: report the exit
+	}
+	return tmin, true
+}
+
+// IntersectGround returns the ray parameter at which the ray crosses the
+// horizontal plane z = groundZ, and whether it does so in front of the
+// origin.
+func IntersectGround(r Ray, groundZ float64) (float64, bool) {
+	if r.Dir.Z == 0 {
+		return 0, false
+	}
+	t := (groundZ - r.Origin.Z) / r.Dir.Z
+	if t <= 0 {
+		return 0, false
+	}
+	return t, true
+}
+
+// nearestHit finds the closest intersection among the targets and the
+// ground plane. It returns the hit parameter, the target index (-1 for
+// ground) and whether anything was hit within maxRange.
+func nearestHit(r Ray, targets []Target, groundZ, maxRange float64) (float64, int, bool) {
+	bestT := maxRange
+	bestIdx := -2
+	if t, ok := IntersectGround(r, groundZ); ok && t < bestT {
+		bestT, bestIdx = t, -1
+	}
+	for i := range targets {
+		if t, ok := IntersectBox(r, targets[i].Box); ok && t < bestT {
+			bestT, bestIdx = t, i
+		}
+	}
+	if bestIdx == -2 {
+		return 0, 0, false
+	}
+	return bestT, bestIdx, true
+}

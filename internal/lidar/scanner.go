@@ -1,0 +1,112 @@
+package lidar
+
+import (
+	"math"
+	"math/rand"
+
+	"cooper/internal/geom"
+	"cooper/internal/pointcloud"
+)
+
+// Scan is the result of one full LiDAR revolution.
+type Scan struct {
+	// Cloud holds the returns in the sensor frame (x forward, y left,
+	// z up, origin at the sensor).
+	Cloud *pointcloud.Cloud
+	// HitsPerObject counts returns per scene ObjectID. Ground hits are
+	// not included. The evaluation harness uses this as exact point-
+	// support ground truth.
+	HitsPerObject map[int]int
+}
+
+// Scanner simulates a spinning LiDAR. A Scanner is deterministic for a
+// given seed and call sequence; it is not safe for concurrent use.
+type Scanner struct {
+	cfg Config
+	rng *rand.Rand
+}
+
+// NewScanner returns a scanner for the given device configuration. The
+// seed fixes the noise sequence so experiments are reproducible.
+func NewScanner(cfg Config, seed int64) *Scanner {
+	return &Scanner{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// SensorTransform returns the transform mapping world coordinates into the
+// sensor frame of a LiDAR mounted mountHeight above the given vehicle
+// pose. Scan clouds are expressed in exactly this frame.
+func SensorTransform(pose geom.Transform, mountHeight float64) geom.Transform {
+	inv := pose.Inverse()
+	inv.T = inv.T.Sub(geom.V3(0, 0, mountHeight))
+	return inv
+}
+
+// Config returns the scanner's device configuration.
+func (s *Scanner) Config() Config { return s.cfg }
+
+// ScanFrom performs a full revolution from the given sensor pose. The pose
+// maps sensor coordinates to world coordinates (its translation is the
+// sensor position; MountHeight is added on top of the pose translation).
+// Targets and groundZ are in world coordinates. Returned points are in the
+// sensor frame, exactly what a real device streams and what vehicles
+// exchange in Cooper.
+func (s *Scanner) ScanFrom(pose geom.Transform, targets []Target, groundZ float64) Scan {
+	origin := pose.Apply(geom.V3(0, 0, s.cfg.MountHeight))
+	steps := int(2 * math.Pi / s.cfg.AzimuthStep)
+	cloud := pointcloud.New(steps * s.cfg.BeamCount() / 4)
+	hits := make(map[int]int)
+	toSensor := SensorTransform(pose, s.cfg.MountHeight)
+
+	for step := 0; step < steps; step++ {
+		az := float64(step) * s.cfg.AzimuthStep
+		cosAz, sinAz := math.Cos(az), math.Sin(az)
+		for _, el := range s.cfg.BeamElevations {
+			cosEl, sinEl := math.Cos(el), math.Sin(el)
+			// Direction in the sensor frame, rotated into the world.
+			dirSensor := geom.Vec3{X: cosEl * cosAz, Y: cosEl * sinAz, Z: sinEl}
+			dirWorld := pose.ApplyDir(dirSensor)
+			ray := Ray{Origin: origin, Dir: dirWorld}
+
+			t, idx, ok := nearestHit(ray, targets, groundZ, s.cfg.MaxRange)
+			if !ok || t < s.cfg.MinRange {
+				continue
+			}
+			if s.cfg.DropoutProb > 0 && s.rng.Float64() < s.cfg.DropoutProb {
+				continue
+			}
+			if s.cfg.RangeNoiseStd > 0 {
+				t += s.rng.NormFloat64() * s.cfg.RangeNoiseStd
+				if t < s.cfg.MinRange {
+					continue
+				}
+			}
+			hitWorld := ray.At(t)
+			hitSensor := toSensor.Apply(hitWorld)
+
+			refl := groundReflectivity
+			objID := -1
+			if idx >= 0 {
+				refl = targets[idx].Reflectivity
+				objID = targets[idx].ObjectID
+			}
+			// Simple intensity model: surface reflectivity attenuated
+			// with range, plus small sensor noise.
+			intensity := refl * math.Exp(-t/attenuationLength)
+			intensity += s.rng.NormFloat64() * 0.01
+			intensity = geom.Clamp(intensity, 0, 1)
+
+			cloud.AppendXYZR(hitSensor.X, hitSensor.Y, hitSensor.Z, intensity)
+			if objID >= 0 {
+				hits[objID]++
+			}
+		}
+	}
+	return Scan{Cloud: cloud, HitsPerObject: hits}
+}
+
+const (
+	// groundReflectivity approximates asphalt.
+	groundReflectivity = 0.25
+	// attenuationLength is the e-folding range of the intensity model.
+	attenuationLength = 200.0
+)

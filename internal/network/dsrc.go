@@ -1,0 +1,60 @@
+// Package network models the vehicular network Cooper transmits over.
+// It provides a DSRC channel model (IEEE 802.11p / WAVE, after Kenney,
+// "Dedicated Short-Range Communications (DSRC) Standards in the United
+// States", Proc. IEEE 2011 — the paper's [12]), a wire format for Cooper
+// exchange messages, a real TCP transport carrying that format, and a
+// broadcast scheduler used by the Fig. 12 data-volume experiment.
+package network
+
+import (
+	"time"
+)
+
+// DSRCChannel models one DSRC service channel. DSRC provides seven
+// 10 MHz channels with data rates between 3 and 27 Mbit/s; 6 Mbit/s is
+// the commonly used default.
+type DSRCChannel struct {
+	// DataRateMbps is the PHY data rate in Mbit/s.
+	DataRateMbps float64
+	// MACEfficiency discounts protocol overhead (headers, contention,
+	// inter-frame spacing); effective throughput = rate × efficiency.
+	MACEfficiency float64
+	// BaseLatency is the fixed per-message cost (channel access,
+	// propagation).
+	BaseLatency time.Duration
+}
+
+// DefaultDSRC returns the 6 Mbit/s service-channel model.
+func DefaultDSRC() DSRCChannel {
+	return DSRCChannel{DataRateMbps: 6, MACEfficiency: 0.8, BaseLatency: 2 * time.Millisecond}
+}
+
+// HighRateDSRC returns the 27 Mbit/s best-case channel.
+func HighRateDSRC() DSRCChannel {
+	return DSRCChannel{DataRateMbps: 27, MACEfficiency: 0.8, BaseLatency: 2 * time.Millisecond}
+}
+
+// EffectiveThroughputBps returns the usable throughput in bits/second.
+func (c DSRCChannel) EffectiveThroughputBps() float64 {
+	return c.DataRateMbps * 1e6 * c.MACEfficiency
+}
+
+// TransmitTime returns how long a payload of the given size occupies the
+// channel.
+func (c DSRCChannel) TransmitTime(bytes int) time.Duration {
+	bits := float64(bytes) * 8
+	seconds := bits / c.EffectiveThroughputBps()
+	return c.BaseLatency + time.Duration(seconds*float64(time.Second))
+}
+
+// CanSustain reports whether a continuous load of bytesPerSecond fits
+// within the channel's effective throughput.
+func (c DSRCChannel) CanSustain(bytesPerSecond float64) bool {
+	return bytesPerSecond*8 <= c.EffectiveThroughputBps()
+}
+
+// Utilization returns the fraction of channel capacity a continuous load
+// of bytesPerSecond consumes.
+func (c DSRCChannel) Utilization(bytesPerSecond float64) float64 {
+	return bytesPerSecond * 8 / c.EffectiveThroughputBps()
+}

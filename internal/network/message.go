@@ -1,0 +1,125 @@
+package network
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"cooper/internal/fusion"
+	"cooper/internal/geom"
+)
+
+// MsgType tags the Cooper wire messages.
+type MsgType uint8
+
+// Message types: a full-scan share, an ROI share, and the demand-driven
+// ROI request of §II-C (a vehicle that failed to detect in a region asks
+// a neighbour for that region's data).
+const (
+	MsgFullScan MsgType = iota + 1
+	MsgROIShare
+	MsgROIRequest
+)
+
+// Message is one Cooper exchange unit on the wire: the sender's identity
+// and GPS/IMU state plus either a point-cloud payload (shares) or a
+// requested region (requests).
+type Message struct {
+	Type   MsgType
+	Sender string
+	State  fusion.VehicleState
+	// Payload is the encoded point cloud for share messages.
+	Payload []byte
+	// Region is the requested area for MsgROIRequest, in world
+	// coordinates.
+	Region geom.AABB
+}
+
+// Wire format errors.
+var (
+	ErrBadMessage = errors.New("network: malformed message")
+	ErrTooBig     = errors.New("network: message exceeds size limit")
+)
+
+// MaxMessageSize bounds a single message (16 MiB), protecting receivers
+// from hostile or corrupt length prefixes.
+const MaxMessageSize = 16 << 20
+
+var messageMagic = [4]byte{'C', 'P', 'M', 'X'}
+
+const headerFixed = 4 + 1 + 1 + 2 // magic, version, type, sender length
+
+// EncodeMessage serialises a message.
+func EncodeMessage(m Message) ([]byte, error) {
+	if len(m.Sender) > 65535 {
+		return nil, fmt.Errorf("%w: sender name too long", ErrBadMessage)
+	}
+	size := headerFixed + len(m.Sender) + 7*8 + 4 + len(m.Payload) + 6*8
+	if size > MaxMessageSize {
+		return nil, ErrTooBig
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, messageMagic[:]...)
+	buf = append(buf, 1, byte(m.Type))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(m.Sender)))
+	buf = append(buf, m.Sender...)
+	for _, f := range []float64{
+		m.State.GPS.X, m.State.GPS.Y, m.State.GPS.Z,
+		m.State.Yaw, m.State.Pitch, m.State.Roll, m.State.MountHeight,
+	} {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
+	}
+	for _, f := range []float64{
+		m.Region.Min.X, m.Region.Min.Y, m.Region.Min.Z,
+		m.Region.Max.X, m.Region.Max.Y, m.Region.Max.Z,
+	} {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Payload)))
+	buf = append(buf, m.Payload...)
+	return buf, nil
+}
+
+// DecodeMessage parses a serialised message.
+func DecodeMessage(data []byte) (Message, error) {
+	var m Message
+	if len(data) < headerFixed {
+		return m, fmt.Errorf("%w: short header", ErrBadMessage)
+	}
+	if [4]byte(data[:4]) != messageMagic {
+		return m, fmt.Errorf("%w: bad magic", ErrBadMessage)
+	}
+	if data[4] != 1 {
+		return m, fmt.Errorf("%w: unsupported version %d", ErrBadMessage, data[4])
+	}
+	m.Type = MsgType(data[5])
+	senderLen := int(binary.LittleEndian.Uint16(data[6:]))
+	off := headerFixed
+	if len(data) < off+senderLen+13*8+4 {
+		return m, fmt.Errorf("%w: truncated", ErrBadMessage)
+	}
+	m.Sender = string(data[off : off+senderLen])
+	off += senderLen
+	read := func() float64 {
+		v := math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+		off += 8
+		return v
+	}
+	m.State.GPS = geom.V3(read(), read(), read())
+	m.State.Yaw, m.State.Pitch, m.State.Roll = read(), read(), read()
+	m.State.MountHeight = read()
+	m.Region.Min = geom.V3(read(), read(), read())
+	m.Region.Max = geom.V3(read(), read(), read())
+	payloadLen := int(binary.LittleEndian.Uint32(data[off:]))
+	off += 4
+	if payloadLen > MaxMessageSize {
+		return m, ErrTooBig
+	}
+	if len(data) < off+payloadLen {
+		return m, fmt.Errorf("%w: truncated payload", ErrBadMessage)
+	}
+	m.Payload = make([]byte, payloadLen)
+	copy(m.Payload, data[off:off+payloadLen])
+	return m, nil
+}

@@ -1,0 +1,105 @@
+package network
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Transport carries Cooper messages over a stream connection (the paper's
+// point: existing vehicular network technology suffices — any reliable
+// byte stream carrying under ~2 Mbit per frame works). Messages are
+// length-prefixed on the wire.
+type Transport struct {
+	conn net.Conn
+	r    *bufio.Reader
+
+	mu sync.Mutex // serialises writers
+}
+
+// NewTransport wraps an established connection.
+func NewTransport(conn net.Conn) *Transport {
+	return &Transport{conn: conn, r: bufio.NewReaderSize(conn, 1<<16)}
+}
+
+// Dial connects to a peer and returns the transport.
+func Dial(addr string) (*Transport, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("network: dialing %s: %w", addr, err)
+	}
+	return NewTransport(conn), nil
+}
+
+// Send writes one message.
+func (t *Transport) Send(m Message) error {
+	data, err := EncodeMessage(m)
+	if err != nil {
+		return err
+	}
+	var prefix [4]byte
+	binary.LittleEndian.PutUint32(prefix[:], uint32(len(data)))
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, err := t.conn.Write(prefix[:]); err != nil {
+		return fmt.Errorf("network: writing length prefix: %w", err)
+	}
+	if _, err := t.conn.Write(data); err != nil {
+		return fmt.Errorf("network: writing message body: %w", err)
+	}
+	return nil
+}
+
+// Receive reads one message, blocking until it arrives.
+func (t *Transport) Receive() (Message, error) {
+	var prefix [4]byte
+	if _, err := io.ReadFull(t.r, prefix[:]); err != nil {
+		return Message{}, fmt.Errorf("network: reading length prefix: %w", err)
+	}
+	size := binary.LittleEndian.Uint32(prefix[:])
+	if size > MaxMessageSize {
+		return Message{}, ErrTooBig
+	}
+	data := make([]byte, size)
+	if _, err := io.ReadFull(t.r, data); err != nil {
+		return Message{}, fmt.Errorf("network: reading message body: %w", err)
+	}
+	return DecodeMessage(data)
+}
+
+// Close closes the underlying connection.
+func (t *Transport) Close() error { return t.conn.Close() }
+
+// Listener accepts Cooper transport connections.
+type Listener struct {
+	l net.Listener
+}
+
+// Listen starts a listener; use addr "127.0.0.1:0" for an ephemeral local
+// port.
+func Listen(addr string) (*Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("network: listening on %s: %w", addr, err)
+	}
+	return &Listener{l: l}, nil
+}
+
+// Addr returns the bound address.
+func (l *Listener) Addr() string { return l.l.Addr().String() }
+
+// Accept waits for the next connection.
+func (l *Listener) Accept() (*Transport, error) {
+	conn, err := l.l.Accept()
+	if err != nil {
+		return nil, fmt.Errorf("network: accepting: %w", err)
+	}
+	return NewTransport(conn), nil
+}
+
+// Close stops the listener.
+func (l *Listener) Close() error { return l.l.Close() }

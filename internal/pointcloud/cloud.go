@@ -1,0 +1,160 @@
+// Package pointcloud implements the LiDAR point-cloud data structure Cooper
+// exchanges between vehicles, together with the operations the paper relies
+// on: rigid-transform alignment (Eq. 3), set-union merging (Eq. 2), spatial
+// cropping for region-of-interest extraction, voxel-grid downsampling, a
+// grid index for neighbourhood queries and a compact binary wire codec.
+package pointcloud
+
+import (
+	"math"
+
+	"cooper/internal/geom"
+)
+
+// Point is a single LiDAR return: a 3D position in the sensor frame plus a
+// reflectance (intensity) value in [0, 1]. This matches the KITTI Velodyne
+// layout of (x, y, z, reflectance).
+type Point struct {
+	X, Y, Z     float64
+	Reflectance float64
+}
+
+// Pos returns the point's position as a vector.
+func (p Point) Pos() geom.Vec3 { return geom.Vec3{X: p.X, Y: p.Y, Z: p.Z} }
+
+// Range returns the distance of the point from the sensor origin.
+func (p Point) Range() float64 {
+	return math.Sqrt(p.X*p.X + p.Y*p.Y + p.Z*p.Z)
+}
+
+// Cloud is an ordered collection of LiDAR points. The zero value is an
+// empty cloud ready to use.
+type Cloud struct {
+	pts []Point
+}
+
+// New returns an empty cloud with capacity for n points.
+func New(n int) *Cloud {
+	return &Cloud{pts: make([]Point, 0, n)}
+}
+
+// FromPoints wraps a point slice in a Cloud. The slice is copied so later
+// mutation of the argument cannot alias the cloud (slices are copied at
+// API boundaries).
+func FromPoints(pts []Point) *Cloud {
+	c := &Cloud{pts: make([]Point, len(pts))}
+	copy(c.pts, pts)
+	return c
+}
+
+// Len returns the number of points in the cloud.
+func (c *Cloud) Len() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.pts)
+}
+
+// At returns the i-th point.
+func (c *Cloud) At(i int) Point { return c.pts[i] }
+
+// Points returns a copy of the underlying points.
+func (c *Cloud) Points() []Point {
+	out := make([]Point, len(c.pts))
+	copy(out, c.pts)
+	return out
+}
+
+// points exposes the backing slice to package-internal fast paths.
+func (c *Cloud) points() []Point { return c.pts }
+
+// Append adds points to the cloud.
+func (c *Cloud) Append(pts ...Point) { c.pts = append(c.pts, pts...) }
+
+// AppendXYZR adds a single point given by coordinates.
+func (c *Cloud) AppendXYZR(x, y, z, r float64) {
+	c.pts = append(c.pts, Point{X: x, Y: y, Z: z, Reflectance: r})
+}
+
+// Clone returns a deep copy of the cloud.
+func (c *Cloud) Clone() *Cloud {
+	out := &Cloud{pts: make([]Point, len(c.pts))}
+	copy(out.pts, c.pts)
+	return out
+}
+
+// Transform returns a new cloud with every point mapped through the rigid
+// transform tr. This is Eq. 3 of the paper: p' = R·p + Δd, the step a
+// receiving vehicle applies to align a transmitter's cloud with its own
+// sensor frame.
+func (c *Cloud) Transform(tr geom.Transform) *Cloud {
+	out := &Cloud{pts: make([]Point, len(c.pts))}
+	for i, p := range c.pts {
+		v := tr.Apply(p.Pos())
+		out.pts[i] = Point{X: v.X, Y: v.Y, Z: v.Z, Reflectance: p.Reflectance}
+	}
+	return out
+}
+
+// Merge returns the union of the receiver's cloud with the given clouds
+// (Eq. 2 of the paper). Points are concatenated; deduplication is left to
+// voxel downsampling because physically distinct returns may coincide.
+func (c *Cloud) Merge(others ...*Cloud) *Cloud {
+	total := c.Len()
+	for _, o := range others {
+		total += o.Len()
+	}
+	out := &Cloud{pts: make([]Point, 0, total)}
+	out.pts = append(out.pts, c.pts...)
+	for _, o := range others {
+		if o != nil {
+			out.pts = append(out.pts, o.pts...)
+		}
+	}
+	return out
+}
+
+// Bounds returns the axis-aligned bounding box of the cloud. The second
+// return value is false for an empty cloud.
+func (c *Cloud) Bounds() (geom.AABB, bool) {
+	if c.Len() == 0 {
+		return geom.AABB{}, false
+	}
+	minV := geom.V3(math.Inf(1), math.Inf(1), math.Inf(1))
+	maxV := geom.V3(math.Inf(-1), math.Inf(-1), math.Inf(-1))
+	for _, p := range c.pts {
+		minV.X = math.Min(minV.X, p.X)
+		minV.Y = math.Min(minV.Y, p.Y)
+		minV.Z = math.Min(minV.Z, p.Z)
+		maxV.X = math.Max(maxV.X, p.X)
+		maxV.Y = math.Max(maxV.Y, p.Y)
+		maxV.Z = math.Max(maxV.Z, p.Z)
+	}
+	return geom.AABB{Min: minV, Max: maxV}, true
+}
+
+// Centroid returns the mean position of the cloud's points. The second
+// return value is false for an empty cloud.
+func (c *Cloud) Centroid() (geom.Vec3, bool) {
+	if c.Len() == 0 {
+		return geom.Vec3{}, false
+	}
+	var s geom.Vec3
+	for _, p := range c.pts {
+		s = s.Add(p.Pos())
+	}
+	return s.Scale(1 / float64(c.Len())), true
+}
+
+// CountInBox returns how many points fall inside an oriented box. The
+// evaluation harness uses this to measure point support on ground-truth
+// objects.
+func (c *Cloud) CountInBox(b geom.Box) int {
+	n := 0
+	for _, p := range c.pts {
+		if b.Contains(p.Pos()) {
+			n++
+		}
+	}
+	return n
+}

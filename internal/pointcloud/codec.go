@@ -1,0 +1,162 @@
+package pointcloud
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Wire formats. The paper (§II-C, §IV-G) observes that point clouds can be
+// shrunk to roughly 200 KB per scan by keeping only positional coordinates
+// and the reflection value; the quantized codec below realises that:
+// 7 bytes per point (3×int16 position at 2 cm resolution + 1 byte
+// reflectance) versus 16 bytes for raw float32 quads.
+
+// Codec identifiers (first four bytes of an encoded cloud).
+var (
+	magicRaw       = [4]byte{'C', 'P', 'C', '1'} // float32 x,y,z,reflectance
+	magicQuantized = [4]byte{'C', 'P', 'Q', '1'} // int16 x,y,z (scaled) + uint8 reflectance
+)
+
+// Encoding errors.
+var (
+	ErrBadMagic  = errors.New("pointcloud: unrecognised wire format magic")
+	ErrTruncated = errors.New("pointcloud: truncated encoding")
+	ErrTooLarge  = errors.New("pointcloud: cloud exceeds encodable size")
+)
+
+// QuantStep is the spatial resolution of the quantized codec: 2 cm, well
+// under LiDAR range noise, so quantization does not disturb detection.
+const QuantStep = 0.02
+
+// maxQuantRange is the furthest coordinate magnitude representable by the
+// quantized codec relative to its origin (int16 range × step).
+const maxQuantRange = QuantStep * 32767
+
+const (
+	rawHeaderSize   = 4 + 4 // magic + count
+	rawPointSize    = 16    // 4 × float32
+	quantHeaderSize = 4 + 4 + 3*8
+	quantPointSize  = 7 // 3 × int16 + uint8
+)
+
+// EncodeRaw serialises the cloud in the raw float32 format (16 bytes per
+// point): the KITTI-style representation.
+func EncodeRaw(c *Cloud) []byte {
+	buf := make([]byte, rawHeaderSize+rawPointSize*c.Len())
+	copy(buf, magicRaw[:])
+	binary.LittleEndian.PutUint32(buf[4:], uint32(c.Len()))
+	off := rawHeaderSize
+	for _, p := range c.pts {
+		binary.LittleEndian.PutUint32(buf[off:], math.Float32bits(float32(p.X)))
+		binary.LittleEndian.PutUint32(buf[off+4:], math.Float32bits(float32(p.Y)))
+		binary.LittleEndian.PutUint32(buf[off+8:], math.Float32bits(float32(p.Z)))
+		binary.LittleEndian.PutUint32(buf[off+12:], math.Float32bits(float32(p.Reflectance)))
+		off += rawPointSize
+	}
+	return buf
+}
+
+// EncodeQuantized serialises the cloud in the compact quantized format
+// (7 bytes per point). Coordinates are stored as int16 multiples of
+// QuantStep relative to the cloud centroid; reflectance as uint8.
+// Points farther than ±655 m from the centroid cannot be represented and
+// yield ErrTooLarge.
+func EncodeQuantized(c *Cloud) ([]byte, error) {
+	origin, _ := c.Centroid()
+	buf := make([]byte, quantHeaderSize+quantPointSize*c.Len())
+	copy(buf, magicQuantized[:])
+	binary.LittleEndian.PutUint32(buf[4:], uint32(c.Len()))
+	binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(origin.X))
+	binary.LittleEndian.PutUint64(buf[16:], math.Float64bits(origin.Y))
+	binary.LittleEndian.PutUint64(buf[24:], math.Float64bits(origin.Z))
+	off := quantHeaderSize
+	for _, p := range c.pts {
+		dx, dy, dz := p.X-origin.X, p.Y-origin.Y, p.Z-origin.Z
+		if math.Abs(dx) > maxQuantRange || math.Abs(dy) > maxQuantRange || math.Abs(dz) > maxQuantRange {
+			return nil, fmt.Errorf("point at (%f,%f,%f): %w", p.X, p.Y, p.Z, ErrTooLarge)
+		}
+		binary.LittleEndian.PutUint16(buf[off:], uint16(int16(math.Round(dx/QuantStep))))
+		binary.LittleEndian.PutUint16(buf[off+2:], uint16(int16(math.Round(dy/QuantStep))))
+		binary.LittleEndian.PutUint16(buf[off+4:], uint16(int16(math.Round(dz/QuantStep))))
+		r := math.Round(p.Reflectance * 255)
+		buf[off+6] = uint8(math.Max(0, math.Min(255, r)))
+		off += quantPointSize
+	}
+	return buf, nil
+}
+
+// Decode parses either wire format back into a cloud.
+func Decode(data []byte) (*Cloud, error) {
+	if len(data) < 4 {
+		return nil, ErrTruncated
+	}
+	var magic [4]byte
+	copy(magic[:], data)
+	switch magic {
+	case magicRaw:
+		return decodeRaw(data)
+	case magicQuantized:
+		return decodeQuantized(data)
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrBadMagic, magic[:])
+	}
+}
+
+func decodeRaw(data []byte) (*Cloud, error) {
+	if len(data) < rawHeaderSize {
+		return nil, ErrTruncated
+	}
+	n := int(binary.LittleEndian.Uint32(data[4:]))
+	if len(data) < rawHeaderSize+n*rawPointSize {
+		return nil, ErrTruncated
+	}
+	out := &Cloud{pts: make([]Point, n)}
+	off := rawHeaderSize
+	for i := 0; i < n; i++ {
+		out.pts[i] = Point{
+			X:           float64(math.Float32frombits(binary.LittleEndian.Uint32(data[off:]))),
+			Y:           float64(math.Float32frombits(binary.LittleEndian.Uint32(data[off+4:]))),
+			Z:           float64(math.Float32frombits(binary.LittleEndian.Uint32(data[off+8:]))),
+			Reflectance: float64(math.Float32frombits(binary.LittleEndian.Uint32(data[off+12:]))),
+		}
+		off += rawPointSize
+	}
+	return out, nil
+}
+
+func decodeQuantized(data []byte) (*Cloud, error) {
+	if len(data) < quantHeaderSize {
+		return nil, ErrTruncated
+	}
+	n := int(binary.LittleEndian.Uint32(data[4:]))
+	if len(data) < quantHeaderSize+n*quantPointSize {
+		return nil, ErrTruncated
+	}
+	ox := math.Float64frombits(binary.LittleEndian.Uint64(data[8:]))
+	oy := math.Float64frombits(binary.LittleEndian.Uint64(data[16:]))
+	oz := math.Float64frombits(binary.LittleEndian.Uint64(data[24:]))
+	out := &Cloud{pts: make([]Point, n)}
+	off := quantHeaderSize
+	for i := 0; i < n; i++ {
+		dx := int16(binary.LittleEndian.Uint16(data[off:]))
+		dy := int16(binary.LittleEndian.Uint16(data[off+2:]))
+		dz := int16(binary.LittleEndian.Uint16(data[off+4:]))
+		out.pts[i] = Point{
+			X:           ox + float64(dx)*QuantStep,
+			Y:           oy + float64(dy)*QuantStep,
+			Z:           oz + float64(dz)*QuantStep,
+			Reflectance: float64(data[off+6]) / 255,
+		}
+		off += quantPointSize
+	}
+	return out, nil
+}
+
+// EncodedSizeRaw returns the raw-format wire size in bytes for n points.
+func EncodedSizeRaw(n int) int { return rawHeaderSize + rawPointSize*n }
+
+// EncodedSizeQuantized returns the quantized-format wire size in bytes for
+// n points.
+func EncodedSizeQuantized(n int) int { return quantHeaderSize + quantPointSize*n }

@@ -1,0 +1,155 @@
+package pointcloud
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRawRoundTrip(t *testing.T) {
+	c := randomCloud(257, 50)
+	got, err := Decode(EncodeRaw(c))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Len() != c.Len() {
+		t.Fatalf("len = %d, want %d", got.Len(), c.Len())
+	}
+	for i := 0; i < c.Len(); i++ {
+		// Raw codec stores float32: expect float32 precision.
+		if !got.At(i).Pos().AlmostEqual(c.At(i).Pos(), 1e-4) {
+			t.Fatalf("point %d: %v vs %v", i, got.At(i), c.At(i))
+		}
+	}
+}
+
+func TestQuantizedRoundTrip(t *testing.T) {
+	c := randomCloud(500, 51)
+	enc, err := EncodeQuantized(c)
+	if err != nil {
+		t.Fatalf("EncodeQuantized: %v", err)
+	}
+	got, err := Decode(enc)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Len() != c.Len() {
+		t.Fatalf("len = %d, want %d", got.Len(), c.Len())
+	}
+	for i := 0; i < c.Len(); i++ {
+		// Quantized codec is exact to half a quant step.
+		if !got.At(i).Pos().AlmostEqual(c.At(i).Pos(), QuantStep/2+1e-9) {
+			t.Fatalf("point %d: %v vs %v", i, got.At(i), c.At(i))
+		}
+		if math.Abs(got.At(i).Reflectance-c.At(i).Reflectance) > 1.0/255+1e-9 {
+			t.Fatalf("reflectance %d: %v vs %v", i, got.At(i).Reflectance, c.At(i).Reflectance)
+		}
+	}
+}
+
+func TestQuantizedRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		c := randomCloud(64, seed)
+		enc, err := EncodeQuantized(c)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(enc)
+		if err != nil || got.Len() != c.Len() {
+			return false
+		}
+		for i := 0; i < c.Len(); i++ {
+			if !got.At(i).Pos().AlmostEqual(c.At(i).Pos(), QuantStep/2+1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantizedSmallerThanRaw(t *testing.T) {
+	c := randomCloud(10000, 52)
+	raw := EncodeRaw(c)
+	q, err := EncodeQuantized(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q) >= len(raw) {
+		t.Errorf("quantized %d bytes >= raw %d bytes", len(q), len(raw))
+	}
+	// The paper's §II-C claim: ~7/16 of the raw size — under 45%.
+	if float64(len(q))/float64(len(raw)) > 0.45 {
+		t.Errorf("compression ratio %f, want < 0.45", float64(len(q))/float64(len(raw)))
+	}
+}
+
+func TestPaper200KBClaim(t *testing.T) {
+	// §II-C: "point clouds can be compressed into 200 KB per scan."
+	// A VLP-16 scan is ≈ 30k points; quantized that is ≈ 210 KB.
+	c := randomCloud(30000, 53)
+	q, err := EncodeQuantized(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb := float64(len(q)) / 1024
+	if kb > 250 {
+		t.Errorf("30k-point scan encodes to %.0f KB, want ≈ 200 KB", kb)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil); !errors.Is(err, ErrTruncated) {
+		t.Errorf("nil: err = %v, want ErrTruncated", err)
+	}
+	if _, err := Decode([]byte("XXXX")); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("bad magic: err = %v, want ErrBadMagic", err)
+	}
+	// Truncated body: claim 100 points but provide none.
+	c := randomCloud(100, 54)
+	enc := EncodeRaw(c)
+	if _, err := Decode(enc[:20]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("truncated raw: err = %v, want ErrTruncated", err)
+	}
+	q, _ := EncodeQuantized(c)
+	if _, err := Decode(q[:30]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("truncated quantized: err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestEncodeQuantizedTooFar(t *testing.T) {
+	c := FromPoints([]Point{{X: 0}, {X: 5000}})
+	if _, err := EncodeQuantized(c); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestEncodedSizes(t *testing.T) {
+	c := randomCloud(123, 55)
+	if got := len(EncodeRaw(c)); got != EncodedSizeRaw(123) {
+		t.Errorf("raw size = %d, want %d", got, EncodedSizeRaw(123))
+	}
+	q, _ := EncodeQuantized(c)
+	if len(q) != EncodedSizeQuantized(123) {
+		t.Errorf("quantized size = %d, want %d", len(q), EncodedSizeQuantized(123))
+	}
+}
+
+func TestEmptyCloudRoundTrip(t *testing.T) {
+	c := &Cloud{}
+	got, err := Decode(EncodeRaw(c))
+	if err != nil || got.Len() != 0 {
+		t.Errorf("empty raw round trip: %v, len %d", err, got.Len())
+	}
+	q, err := EncodeQuantized(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = Decode(q)
+	if err != nil || got.Len() != 0 {
+		t.Errorf("empty quantized round trip: %v", err)
+	}
+}

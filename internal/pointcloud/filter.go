@@ -1,0 +1,99 @@
+package pointcloud
+
+import (
+	"math"
+
+	"cooper/internal/geom"
+)
+
+// Filter returns a new cloud containing the points for which keep returns
+// true.
+func (c *Cloud) Filter(keep func(Point) bool) *Cloud {
+	out := &Cloud{pts: make([]Point, 0, len(c.pts))}
+	for _, p := range c.pts {
+		if keep(p) {
+			out.pts = append(out.pts, p)
+		}
+	}
+	return out
+}
+
+// CropAABB returns the points inside the axis-aligned box.
+func (c *Cloud) CropAABB(b geom.AABB) *Cloud {
+	return c.Filter(func(p Point) bool { return b.Contains(p.Pos()) })
+}
+
+// CropBox returns the points inside an oriented box.
+func (c *Cloud) CropBox(b geom.Box) *Cloud {
+	return c.Filter(func(p Point) bool { return b.Contains(p.Pos()) })
+}
+
+// CropRange returns the points with sensor range in [minR, maxR].
+func (c *Cloud) CropRange(minR, maxR float64) *Cloud {
+	return c.Filter(func(p Point) bool {
+		r := p.Range()
+		return r >= minR && r <= maxR
+	})
+}
+
+// CropFOV returns the points whose azimuth (angle in the ground plane,
+// measured from +x toward +y) lies within ±halfFOV of the given centre
+// azimuth. The paper's ROI category 2 exchanges a 120° front field of view,
+// i.e. halfFOV = 60°.
+func (c *Cloud) CropFOV(centerAz, halfFOV float64) *Cloud {
+	return c.Filter(func(p Point) bool {
+		az := math.Atan2(p.Y, p.X)
+		return math.Abs(geom.WrapAngle(az-centerAz)) <= halfFOV
+	})
+}
+
+// CropHeight returns the points with z in [minZ, maxZ].
+func (c *Cloud) CropHeight(minZ, maxZ float64) *Cloud {
+	return c.Filter(func(p Point) bool { return p.Z >= minZ && p.Z <= maxZ })
+}
+
+// RemoveGroundPlane removes points within tol of the estimated ground
+// height. The estimate is the given plane z = groundZ; use EstimateGroundZ
+// to fit it from the data.
+func (c *Cloud) RemoveGroundPlane(groundZ, tol float64) *Cloud {
+	return c.Filter(func(p Point) bool { return p.Z > groundZ+tol })
+}
+
+// EstimateGroundZ estimates the ground height as a low percentile of the
+// z distribution over near-range points. It is robust to the cloud
+// containing mostly ground (LiDAR scans usually do).
+func (c *Cloud) EstimateGroundZ() float64 {
+	if c.Len() == 0 {
+		return 0
+	}
+	// Histogram z in 5 cm bins over [-5, +5] m and take the first bin
+	// whose cumulative count reaches 10% of the points: a cheap, exact
+	// 10th percentile for the clipped range.
+	const (
+		lo      = -5.0
+		hi      = 5.0
+		binSize = 0.05
+	)
+	nBins := int((hi - lo) / binSize)
+	hist := make([]int, nBins)
+	counted := 0
+	for _, p := range c.pts {
+		if p.Z < lo || p.Z >= hi {
+			continue
+		}
+		hist[int((p.Z-lo)/binSize)]++
+		counted++
+	}
+	if counted == 0 {
+		return 0
+	}
+	target := counted / 10
+	cum := 0
+	for i, h := range hist {
+		cum += h
+		if cum > target {
+			return lo + (float64(i)+0.5)*binSize
+		}
+	}
+	return 0
+}

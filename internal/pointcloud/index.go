@@ -1,0 +1,115 @@
+package pointcloud
+
+import (
+	"math"
+
+	"cooper/internal/geom"
+)
+
+// GridIndex is a uniform-grid spatial index over a cloud, supporting
+// radius queries. The clustering detector baseline and the ICP refinement
+// both use it to avoid quadratic neighbour scans.
+type GridIndex struct {
+	cellSize float64
+	cells    map[VoxelKey][]int
+	cloud    *Cloud
+}
+
+// NewGridIndex indexes the cloud with the given cell size. Choose the cell
+// size close to the typical query radius for best performance.
+func NewGridIndex(c *Cloud, cellSize float64) *GridIndex {
+	if cellSize <= 0 {
+		cellSize = 1
+	}
+	idx := &GridIndex{
+		cellSize: cellSize,
+		cells:    make(map[VoxelKey][]int, c.Len()/4+1),
+		cloud:    c,
+	}
+	for i, p := range c.pts {
+		k := KeyFor(p.X, p.Y, p.Z, cellSize)
+		idx.cells[k] = append(idx.cells[k], i)
+	}
+	return idx
+}
+
+// Radius returns the indices of all points within r of q.
+func (g *GridIndex) Radius(q geom.Vec3, r float64) []int {
+	if r <= 0 {
+		return nil
+	}
+	var out []int
+	r2 := r * r
+	lo := KeyFor(q.X-r, q.Y-r, q.Z-r, g.cellSize)
+	hi := KeyFor(q.X+r, q.Y+r, q.Z+r, g.cellSize)
+	for x := lo.X; x <= hi.X; x++ {
+		for y := lo.Y; y <= hi.Y; y++ {
+			for z := lo.Z; z <= hi.Z; z++ {
+				for _, i := range g.cells[VoxelKey{x, y, z}] {
+					p := g.cloud.pts[i]
+					dx, dy, dz := p.X-q.X, p.Y-q.Y, p.Z-q.Z
+					if dx*dx+dy*dy+dz*dz <= r2 {
+						out = append(out, i)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Nearest returns the index of the point closest to q and its distance.
+// It returns (-1, +Inf) for an empty index. The search widens ring by ring
+// until a hit is found, then verifies one extra ring to guarantee
+// correctness near cell boundaries.
+func (g *GridIndex) Nearest(q geom.Vec3) (int, float64) {
+	if g.cloud.Len() == 0 {
+		return -1, math.Inf(1)
+	}
+	center := KeyFor(q.X, q.Y, q.Z, g.cellSize)
+	best := -1
+	bestD2 := math.Inf(1)
+
+	scanRing := func(ring int32) {
+		for x := center.X - ring; x <= center.X+ring; x++ {
+			for y := center.Y - ring; y <= center.Y+ring; y++ {
+				for z := center.Z - ring; z <= center.Z+ring; z++ {
+					onShell := x == center.X-ring || x == center.X+ring ||
+						y == center.Y-ring || y == center.Y+ring ||
+						z == center.Z-ring || z == center.Z+ring
+					if ring > 0 && !onShell {
+						continue
+					}
+					for _, i := range g.cells[VoxelKey{x, y, z}] {
+						p := g.cloud.pts[i]
+						dx, dy, dz := p.X-q.X, p.Y-q.Y, p.Z-q.Z
+						d2 := dx*dx + dy*dy + dz*dz
+						if d2 < bestD2 {
+							bestD2 = d2
+							best = i
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Expand until a hit, then scan one more ring: a closer point can hide
+	// in the next shell because cells are cubes.
+	const maxRings = 1 << 12
+	foundAt := int32(-1)
+	for ring := int32(0); ring < maxRings; ring++ {
+		scanRing(ring)
+		if best >= 0 {
+			foundAt = ring
+			break
+		}
+	}
+	if foundAt >= 0 {
+		scanRing(foundAt + 1)
+	}
+	return best, math.Sqrt(bestD2)
+}
+
+// Cloud returns the indexed cloud.
+func (g *GridIndex) Cloud() *Cloud { return g.cloud }

@@ -1,0 +1,109 @@
+package pointcloud
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"cooper/internal/geom"
+)
+
+func TestGridIndexRadius(t *testing.T) {
+	c := FromPoints([]Point{
+		{X: 0, Y: 0, Z: 0},
+		{X: 0.5, Y: 0, Z: 0},
+		{X: 2, Y: 0, Z: 0},
+		{X: 0, Y: 0.9, Z: 0},
+	})
+	idx := NewGridIndex(c, 1)
+	got := idx.Radius(geom.V3(0, 0, 0), 1)
+	sort.Ints(got)
+	want := []int{0, 1, 3}
+	if len(got) != len(want) {
+		t.Fatalf("Radius = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Radius = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestGridIndexRadiusMatchesBruteForce(t *testing.T) {
+	c := randomCloud(500, 42)
+	idx := NewGridIndex(c, 2)
+	queries := []geom.Vec3{{X: 0, Y: 0, Z: 0}, {X: 10, Y: -20, Z: 1}, {X: -49, Y: 49, Z: 0}}
+	for _, q := range queries {
+		for _, r := range []float64{0.5, 3, 10} {
+			got := idx.Radius(q, r)
+			var want []int
+			for i := 0; i < c.Len(); i++ {
+				if c.At(i).Pos().Dist(q) <= r {
+					want = append(want, i)
+				}
+			}
+			sort.Ints(got)
+			if len(got) != len(want) {
+				t.Fatalf("Radius(%v, %v): got %d hits, brute force %d", q, r, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("Radius(%v, %v) mismatch at %d", q, r, i)
+				}
+			}
+		}
+	}
+}
+
+func TestGridIndexNearest(t *testing.T) {
+	c := FromPoints([]Point{
+		{X: 0, Y: 0, Z: 0},
+		{X: 10, Y: 0, Z: 0},
+		{X: 0, Y: 10, Z: 0},
+	})
+	idx := NewGridIndex(c, 1)
+	i, d := idx.Nearest(geom.V3(9, 0.5, 0))
+	if i != 1 {
+		t.Errorf("Nearest index = %d, want 1", i)
+	}
+	if math.Abs(d-math.Hypot(1, 0.5)) > 1e-12 {
+		t.Errorf("Nearest dist = %v", d)
+	}
+}
+
+func TestGridIndexNearestMatchesBruteForce(t *testing.T) {
+	c := randomCloud(300, 43)
+	idx := NewGridIndex(c, 1.5)
+	queries := []geom.Vec3{{X: 1, Y: 2, Z: 0}, {X: -30, Y: 45, Z: 2}, {X: 60, Y: 60, Z: 0}}
+	for _, q := range queries {
+		gi, gd := idx.Nearest(q)
+		bi, bd := -1, math.Inf(1)
+		for i := 0; i < c.Len(); i++ {
+			if d := c.At(i).Pos().Dist(q); d < bd {
+				bd, bi = d, i
+			}
+		}
+		if gi != bi && math.Abs(gd-bd) > 1e-9 {
+			t.Errorf("Nearest(%v) = (%d, %v), brute force (%d, %v)", q, gi, gd, bi, bd)
+		}
+	}
+}
+
+func TestGridIndexEmpty(t *testing.T) {
+	idx := NewGridIndex(&Cloud{}, 1)
+	if got := idx.Radius(geom.V3(0, 0, 0), 5); got != nil {
+		t.Errorf("Radius on empty index = %v", got)
+	}
+	i, d := idx.Nearest(geom.V3(0, 0, 0))
+	if i != -1 || !math.IsInf(d, 1) {
+		t.Errorf("Nearest on empty index = (%d, %v)", i, d)
+	}
+}
+
+func TestGridIndexZeroRadius(t *testing.T) {
+	c := randomCloud(10, 44)
+	idx := NewGridIndex(c, 1)
+	if got := idx.Radius(geom.V3(0, 0, 0), 0); got != nil {
+		t.Errorf("zero radius returned %v", got)
+	}
+}

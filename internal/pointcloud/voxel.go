@@ -1,0 +1,77 @@
+package pointcloud
+
+import (
+	"math"
+)
+
+// VoxelKey identifies a voxel cell by integer grid coordinates.
+type VoxelKey struct {
+	X, Y, Z int32
+}
+
+// KeyFor returns the voxel key of a position for the given voxel edge
+// length.
+func KeyFor(x, y, z, voxelSize float64) VoxelKey {
+	return VoxelKey{
+		X: int32(math.Floor(x / voxelSize)),
+		Y: int32(math.Floor(y / voxelSize)),
+		Z: int32(math.Floor(z / voxelSize)),
+	}
+}
+
+// VoxelDownsample returns a cloud with at most one point per voxel of the
+// given edge length: the centroid of the points that fell in the voxel,
+// with the mean reflectance. Merged cooperative clouds are downsampled this
+// way to bound detector input size regardless of how many vehicles
+// contributed.
+func (c *Cloud) VoxelDownsample(voxelSize float64) *Cloud {
+	if voxelSize <= 0 || c.Len() == 0 {
+		return c.Clone()
+	}
+	type acc struct {
+		x, y, z, r float64
+		n          int
+	}
+	cells := make(map[VoxelKey]*acc, c.Len()/2+1)
+	order := make([]VoxelKey, 0, c.Len()/2+1)
+	for _, p := range c.pts {
+		k := KeyFor(p.X, p.Y, p.Z, voxelSize)
+		a, ok := cells[k]
+		if !ok {
+			a = &acc{}
+			cells[k] = a
+			order = append(order, k)
+		}
+		a.x += p.X
+		a.y += p.Y
+		a.z += p.Z
+		a.r += p.Reflectance
+		a.n++
+	}
+	out := &Cloud{pts: make([]Point, 0, len(cells))}
+	for _, k := range order {
+		a := cells[k]
+		inv := 1 / float64(a.n)
+		out.pts = append(out.pts, Point{
+			X:           a.x * inv,
+			Y:           a.y * inv,
+			Z:           a.z * inv,
+			Reflectance: a.r * inv,
+		})
+	}
+	return out
+}
+
+// VoxelOccupancy returns the number of occupied voxels at the given voxel
+// size — a density-independent measure of how much structure the cloud
+// covers.
+func (c *Cloud) VoxelOccupancy(voxelSize float64) int {
+	if voxelSize <= 0 {
+		return c.Len()
+	}
+	seen := make(map[VoxelKey]struct{}, c.Len()/2+1)
+	for _, p := range c.pts {
+		seen[KeyFor(p.X, p.Y, p.Z, voxelSize)] = struct{}{}
+	}
+	return len(seen)
+}

@@ -1,0 +1,155 @@
+// Package roi implements Cooper's region-of-interest data extraction
+// (§IV-G): vehicles do not need to exchange whole scans — background that
+// every vehicle can map for itself (buildings, trees) is subtracted, and
+// the shared region is restricted to one of three exchange categories the
+// paper illustrates in Fig. 11:
+//
+//	Category 1 — opposite-direction passing: the full frame is shared
+//	             (no physical buffer between the vehicles; the costliest).
+//	Category 2 — junction: each vehicle shares its 120° front field of
+//	             view, the driver-perspective region.
+//	Category 3 — lead/trailing: the leading vehicle shares its front view
+//	             one way; the trailing vehicle transmits nothing.
+//
+// The package also provides the background-subtraction filter and the
+// payload accounting used by the Fig. 12 data-volume experiment.
+package roi
+
+import (
+	"math"
+
+	"cooper/internal/geom"
+	"cooper/internal/pointcloud"
+)
+
+// Category enumerates the paper's three ROI exchange categories.
+type Category int
+
+// The three categories of Fig. 11.
+const (
+	// CategoryFullFrame shares the entire scan (opposite-direction
+	// passing, scenario 1).
+	CategoryFullFrame Category = iota + 1
+	// CategoryFrontFOV shares a 120° front field of view (junctions,
+	// scenario 2, both directions).
+	CategoryFrontFOV
+	// CategoryLeadView shares the leader's front view one way
+	// (lead/trailing, scenario 3).
+	CategoryLeadView
+)
+
+// String implements fmt.Stringer.
+func (c Category) String() string {
+	switch c {
+	case CategoryFullFrame:
+		return "ROI 1 (full frame)"
+	case CategoryFrontFOV:
+		return "ROI 2 (120° front FOV)"
+	case CategoryLeadView:
+		return "ROI 3 (lead view, one-way)"
+	default:
+		return "ROI ?"
+	}
+}
+
+// FrontFOVHalfAngle is half the category-2 field of view: the paper uses
+// the 120° driver perspective.
+const FrontFOVHalfAngle = math.Pi / 3
+
+// Extract applies a category's region restriction to a scan in the
+// transmitting vehicle's sensor frame.
+func Extract(cloud *pointcloud.Cloud, cat Category) *pointcloud.Cloud {
+	switch cat {
+	case CategoryFrontFOV, CategoryLeadView:
+		return cloud.CropFOV(0, FrontFOVHalfAngle)
+	default:
+		return cloud.Clone()
+	}
+}
+
+// Transmissions reports how many directed transfers one cooperative
+// exchange of the category requires between two vehicles: categories 1
+// and 2 are mutual, category 3 is one-way.
+func Transmissions(cat Category) int {
+	if cat == CategoryLeadView {
+		return 1
+	}
+	return 2
+}
+
+// BackgroundMap is a static occupancy map of immobile structure
+// (buildings, trees, barriers) that each vehicle accumulates over
+// repeated mapping passes (§IV-G: "these information can be constructed
+// by each vehicle after several times mapping measurement"). Shared
+// frames subtract points falling into mapped background cells.
+type BackgroundMap struct {
+	cellSize float64
+	cells    map[pointcloud.VoxelKey]int
+	minHits  int
+}
+
+// NewBackgroundMap creates a map with the given cell size; a cell is
+// considered background once it has been observed in at least minHits
+// mapping passes.
+func NewBackgroundMap(cellSize float64, minHits int) *BackgroundMap {
+	if cellSize <= 0 {
+		cellSize = 0.5
+	}
+	if minHits < 1 {
+		minHits = 1
+	}
+	return &BackgroundMap{
+		cellSize: cellSize,
+		cells:    make(map[pointcloud.VoxelKey]int),
+		minHits:  minHits,
+	}
+}
+
+// Observe accumulates one mapping pass. The cloud must be in world
+// coordinates (vehicles map while localised).
+func (m *BackgroundMap) Observe(world *pointcloud.Cloud) {
+	seen := make(map[pointcloud.VoxelKey]struct{}, world.Len()/4+1)
+	for i := 0; i < world.Len(); i++ {
+		p := world.At(i)
+		seen[pointcloud.KeyFor(p.X, p.Y, p.Z, m.cellSize)] = struct{}{}
+	}
+	for k := range seen {
+		m.cells[k]++
+	}
+}
+
+// IsBackground reports whether a world position falls in a mapped
+// background cell.
+func (m *BackgroundMap) IsBackground(p geom.Vec3) bool {
+	return m.cells[pointcloud.KeyFor(p.X, p.Y, p.Z, m.cellSize)] >= m.minHits
+}
+
+// MappedCells returns the number of cells at or above the background
+// threshold.
+func (m *BackgroundMap) MappedCells() int {
+	n := 0
+	for _, hits := range m.cells {
+		if hits >= m.minHits {
+			n++
+		}
+	}
+	return n
+}
+
+// Subtract removes the background points from a cloud. toWorld maps the
+// cloud's frame into the map's world frame.
+func (m *BackgroundMap) Subtract(cloud *pointcloud.Cloud, toWorld geom.Transform) *pointcloud.Cloud {
+	return cloud.Filter(func(p pointcloud.Point) bool {
+		return !m.IsBackground(toWorld.Apply(p.Pos()))
+	})
+}
+
+// PayloadBytes returns the quantized wire size of a cloud after category
+// extraction — the quantity plotted in Fig. 12.
+func PayloadBytes(cloud *pointcloud.Cloud, cat Category) (int, error) {
+	enc, err := pointcloud.EncodeQuantized(Extract(cloud, cat))
+	if err != nil {
+		return 0, err
+	}
+	return len(enc), nil
+}

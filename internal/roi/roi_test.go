@@ -1,0 +1,162 @@
+package roi
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cooper/internal/geom"
+	"cooper/internal/pointcloud"
+)
+
+func ringCloud(n int, seed int64) *pointcloud.Cloud {
+	rng := rand.New(rand.NewSource(seed))
+	c := pointcloud.New(n)
+	for i := 0; i < n; i++ {
+		az := rng.Float64()*2*math.Pi - math.Pi
+		r := 5 + rng.Float64()*40
+		c.AppendXYZR(r*math.Cos(az), r*math.Sin(az), rng.Float64()*2-1.7, rng.Float64())
+	}
+	return c
+}
+
+func TestExtractFullFrame(t *testing.T) {
+	c := ringCloud(1000, 1)
+	got := Extract(c, CategoryFullFrame)
+	if got.Len() != c.Len() {
+		t.Errorf("full frame kept %d of %d points", got.Len(), c.Len())
+	}
+}
+
+func TestExtractFrontFOV(t *testing.T) {
+	c := ringCloud(4000, 2)
+	got := Extract(c, CategoryFrontFOV)
+	// 120° of 360° ⇒ about one third of a uniform ring.
+	frac := float64(got.Len()) / float64(c.Len())
+	if frac < 0.28 || frac > 0.39 {
+		t.Errorf("front FOV kept %.2f of points, want ≈ 1/3", frac)
+	}
+	for _, p := range got.Points() {
+		az := math.Atan2(p.Y, p.X)
+		if math.Abs(az) > FrontFOVHalfAngle+1e-9 {
+			t.Fatalf("point at azimuth %v outside 120° FOV", geom.Rad2Deg(az))
+		}
+	}
+}
+
+func TestExtractLeadViewSameRegionAsFront(t *testing.T) {
+	c := ringCloud(1000, 3)
+	front := Extract(c, CategoryFrontFOV)
+	lead := Extract(c, CategoryLeadView)
+	if front.Len() != lead.Len() {
+		t.Errorf("lead view region differs from front FOV: %d vs %d", lead.Len(), front.Len())
+	}
+}
+
+func TestTransmissions(t *testing.T) {
+	if Transmissions(CategoryFullFrame) != 2 {
+		t.Error("full frame should be mutual")
+	}
+	if Transmissions(CategoryFrontFOV) != 2 {
+		t.Error("front FOV should be mutual")
+	}
+	if Transmissions(CategoryLeadView) != 1 {
+		t.Error("lead view should be one-way")
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	for _, c := range []Category{CategoryFullFrame, CategoryFrontFOV, CategoryLeadView, Category(9)} {
+		if c.String() == "" {
+			t.Errorf("empty string for category %d", int(c))
+		}
+	}
+}
+
+func TestPayloadOrdering(t *testing.T) {
+	// Costs must order full frame > front FOV; lead view equals front FOV
+	// per frame but halves the transmissions.
+	c := ringCloud(20000, 4)
+	full, err := PayloadBytes(c, CategoryFullFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front, err := PayloadBytes(c, CategoryFrontFOV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full <= front {
+		t.Errorf("full=%d should exceed front=%d", full, front)
+	}
+	fullTotal := full * Transmissions(CategoryFullFrame)
+	frontTotal := front * Transmissions(CategoryFrontFOV)
+	leadTotal := front * Transmissions(CategoryLeadView)
+	if !(fullTotal > frontTotal && frontTotal > leadTotal) {
+		t.Errorf("total costs not ordered: %d, %d, %d", fullTotal, frontTotal, leadTotal)
+	}
+}
+
+func TestBackgroundMapSubtraction(t *testing.T) {
+	// A static wall observed in every pass becomes background; a car that
+	// appears only once does not.
+	wall := pointcloud.New(500)
+	for i := 0; i < 500; i++ {
+		wall.AppendXYZR(10, float64(i)*0.05, 1, 0.4)
+	}
+	m := NewBackgroundMap(0.5, 3)
+	for pass := 0; pass < 3; pass++ {
+		m.Observe(wall)
+	}
+	if m.MappedCells() == 0 {
+		t.Fatal("wall never became background")
+	}
+
+	mixed := wall.Clone()
+	for i := 0; i < 100; i++ {
+		mixed.AppendXYZR(20+float64(i%10)*0.3, -5, 0.5, 0.5) // transient car
+	}
+	got := m.Subtract(mixed, geom.IdentityTransform())
+	if got.Len() != 100 {
+		t.Errorf("subtraction kept %d points, want 100 (car only)", got.Len())
+	}
+}
+
+func TestBackgroundMapThreshold(t *testing.T) {
+	c := pointcloud.FromPoints([]pointcloud.Point{{X: 1, Y: 1, Z: 1}})
+	m := NewBackgroundMap(0.5, 2)
+	m.Observe(c)
+	if m.IsBackground(geom.V3(1, 1, 1)) {
+		t.Error("single observation should not be background at minHits=2")
+	}
+	m.Observe(c)
+	if !m.IsBackground(geom.V3(1, 1, 1)) {
+		t.Error("two observations should reach the threshold")
+	}
+}
+
+func TestBackgroundMapDefaults(t *testing.T) {
+	m := NewBackgroundMap(0, 0)
+	c := pointcloud.FromPoints([]pointcloud.Point{{X: 0.1}})
+	m.Observe(c)
+	if !m.IsBackground(geom.V3(0.1, 0, 0)) {
+		t.Error("defaults (minHits 1) should mark observed cell")
+	}
+}
+
+func TestSubtractReducesPayload(t *testing.T) {
+	// The §IV-G pipeline: background subtraction then ROI extraction
+	// shrinks the payload versus the raw frame.
+	scene := ringCloud(10000, 5)
+	m := NewBackgroundMap(0.5, 1)
+	m.Observe(scene)
+
+	// A fresh frame: same static scene plus a small new object.
+	frame := scene.Clone()
+	for i := 0; i < 50; i++ {
+		frame.AppendXYZR(3+0.05*float64(i), 0, 0, 0.6)
+	}
+	reduced := m.Subtract(frame, geom.IdentityTransform())
+	if reduced.Len() >= frame.Len()/10 {
+		t.Errorf("background subtraction kept %d of %d points", reduced.Len(), frame.Len())
+	}
+}

@@ -1,0 +1,218 @@
+package scene
+
+import (
+	"math"
+
+	"cooper/internal/geom"
+	"cooper/internal/lidar"
+)
+
+// Dataset labels which of the paper's two datasets a scenario emulates.
+type Dataset string
+
+// The two datasets of the paper's evaluation (§IV-A).
+const (
+	DatasetKITTI Dataset = "KITTI" // 64-beam, road driving
+	DatasetTJ    Dataset = "T&J"   // 16-beam, parking lots
+)
+
+// CoopCase is one cooperative-perception experiment: two viewpoints whose
+// scans are merged (e.g. the paper's "t1 + t2" or "car1 + car3" columns).
+type CoopCase struct {
+	// Name is the paper's column label, e.g. "t1+t2".
+	Name string
+	// I and J index Scenario.Poses.
+	I, J int
+}
+
+// Scenario is a complete experimental setup: a scene, the LiDAR model, a
+// set of vehicle poses and the cooperative cases evaluated on them.
+type Scenario struct {
+	// Name identifies the scenario, e.g. "T-junction".
+	Name string
+	// Dataset is the paper dataset this scenario emulates.
+	Dataset Dataset
+	// LiDAR is the sensor configuration (HDL-64E for KITTI, VLP-16 for T&J).
+	LiDAR lidar.Config
+	// Scene is the static world.
+	Scene *Scene
+	// Poses holds the vehicle poses, world frame. PoseLabels names them
+	// using the paper's notation ("t1", "car3", …).
+	Poses      []geom.Transform
+	PoseLabels []string
+	// Cases lists the cooperative pairs evaluated.
+	Cases []CoopCase
+	// FrontFOV, when positive, restricts evaluation to a front field of
+	// view of this full width in radians (the paper evaluates KITTI on
+	// the 120° front view matching its camera ground truth).
+	FrontFOV float64
+	// Seed fixes all randomness for the scenario.
+	Seed int64
+}
+
+// DeltaD returns the ground-plane distance between the two poses of a
+// case — the Δd annotation of Figs. 3 and 6.
+func (s *Scenario) DeltaD(c CoopCase) float64 {
+	pi := s.Poses[c.I].T
+	pj := s.Poses[c.J].T
+	return pi.DistXY(pj)
+}
+
+// VehiclePose builds a vehicle pose from a ground position and heading.
+func VehiclePose(x, y, yaw float64) geom.Transform {
+	return geom.NewTransform(yaw, 0, 0, geom.V3(x, y, 0))
+}
+
+// KITTIScenarios builds the four road-driving scenarios of Fig. 3:
+// T-junction (Δd = 14.7 m), stop sign (13.3 m), left turn (0 m) and curve
+// (48.1 m). Each has two poses t1 and t2 whose merged scan forms the
+// cooperative case.
+func KITTIScenarios() []*Scenario {
+	return []*Scenario{
+		kittiTJunction(),
+		kittiStopSign(),
+		kittiLeftTurn(),
+		kittiCurve(),
+	}
+}
+
+func kittiBase(name string, seed int64) *Scenario {
+	return &Scenario{
+		Name:     name,
+		Dataset:  DatasetKITTI,
+		LiDAR:    lidar.HDL64(),
+		Scene:    New(),
+		FrontFOV: geom.Deg2Rad(120),
+		Seed:     seed,
+	}
+}
+
+func kittiTJunction() *Scenario {
+	sc := kittiBase("T-junction", 101)
+	w := sc.Scene
+
+	// Main road runs along x at y∈[-5,5]; side road joins from +y at x=30.
+	// Corner buildings wall off the side road from early viewpoints: t1
+	// cannot see past them, t2 (14.7 m further on) can.
+	w.AddBuilding(14, 16, 18, 14, 8, 0)
+	w.AddBuilding(48, 16, 16, 14, 7, 0)
+	w.AddBuilding(-6, 14, 20, 10, 9, 0)
+	w.AddBuilding(20, -16, 40, 12, 6, 0)
+	w.AddTree(2, 7)
+	w.AddTree(58, 7)
+	w.AddTree(-12, -7)
+
+	// Cars on the main road.
+	w.AddCar(24, -2.8, 0)      // ahead of t1, same lane offset
+	w.AddCar(40, 2.9, math.Pi) // oncoming
+	w.AddCar(55, -2.6, 0)      // far ahead
+	// A truck hides the car behind it from t1; t2's offset view clears it.
+	w.AddTruck(33, -3.0, 0)
+	w.AddCar(44, -2.6, 0) // hidden behind the truck for t1
+	// Cars on the side road, occluded by the corner building for t1.
+	w.AddCar(28.7, 14, math.Pi/2)
+	w.AddCar(38.5, 24, -math.Pi/2)
+	// Parked car near the junction mouth.
+	w.AddCar(36, 6.3, math.Pi/2)
+
+	sc.Poses = []geom.Transform{
+		VehiclePose(0, 0, 0),
+		VehiclePose(14.7, 0, 0),
+	}
+	sc.PoseLabels = []string{"t1", "t2"}
+	sc.Cases = []CoopCase{{Name: "t1+t2", I: 0, J: 1}}
+	return sc
+}
+
+func kittiStopSign() *Scenario {
+	sc := kittiBase("Stop sign", 102)
+	w := sc.Scene
+
+	// Four-way intersection at x = 25 with queued traffic.
+	w.AddBuilding(10, 18, 24, 12, 7, 0)
+	w.AddBuilding(42, 18, 20, 12, 8, 0)
+	w.AddBuilding(10, -18, 24, 12, 7, 0)
+	w.AddBuilding(42, -18, 20, 12, 6, 0)
+	w.AddBarrier(25, 9, 10, math.Pi/2)
+
+	// Queue in our lane approaching the stop line.
+	w.AddCar(14, -2.7, 0)
+	w.AddCar(19.5, -2.7, 0) // bumper to bumper: front car occludes rear view
+	w.AddCar(36, 2.8, math.Pi)
+	// Cross traffic on the intersecting road (hidden by corner buildings).
+	w.AddCar(25.5, 13, -math.Pi/2)
+	w.AddCar(24.6, 21, -math.Pi/2)
+	w.AddCar(25.4, -14, math.Pi/2)
+	// Parked beyond the intersection.
+	w.AddCar(44, -2.9, 0)
+	w.AddPedestrian(27, 7)
+
+	sc.Poses = []geom.Transform{
+		VehiclePose(0, 0, 0),
+		VehiclePose(13.3, 0, 0),
+	}
+	sc.PoseLabels = []string{"t3", "t4"}
+	sc.Cases = []CoopCase{{Name: "t3+t4", I: 0, J: 1}}
+	return sc
+}
+
+func kittiLeftTurn() *Scenario {
+	sc := kittiBase("Turn left", 103)
+	w := sc.Scene
+
+	// A vehicle waiting to turn left: the two captures share a position
+	// (Δd = 0) but the heading sweeps through the turn, exposing a
+	// different field of view.
+	w.AddBuilding(20, 14, 18, 10, 8, 0)
+	w.AddBuilding(-4, 20, 14, 12, 7, 0)
+	w.AddTree(12, -8)
+
+	w.AddCar(18, -3, 0)
+	w.AddCar(30, 3, math.Pi)
+	w.AddTruck(14, 6, math.Pi/2) // oncoming-lane truck blocks the turn view
+	w.AddCar(8.6, 14, math.Pi/2) // hidden behind the truck from yaw 0
+	w.AddCar(8.6, 24, math.Pi/2)
+	w.AddCar(-8, 3.2, math.Pi)
+	w.AddCar(-14, 17, -math.Pi/2)
+
+	sc.Poses = []geom.Transform{
+		VehiclePose(0, 0, 0),
+		VehiclePose(0, 0, math.Pi/3), // same spot, 60° through the turn
+	}
+	sc.PoseLabels = []string{"t5", "t6"}
+	sc.Cases = []CoopCase{{Name: "t5+t6", I: 0, J: 1}}
+	return sc
+}
+
+func kittiCurve() *Scenario {
+	sc := kittiBase("Curve", 104)
+	w := sc.Scene
+
+	// A road bending left; the inside of the curve is walled by
+	// vegetation so each viewpoint sees a different arc segment.
+	for i := 0; i < 6; i++ {
+		ang := geom.Deg2Rad(float64(i) * 12)
+		x := 18 + 42*math.Sin(ang)
+		y := 14 - 14*math.Cos(ang) + 8
+		w.AddTree(x, y+4)
+	}
+	w.AddBuilding(30, 30, 26, 14, 9, geom.Deg2Rad(25))
+
+	// Cars stationed along the curve (heading follows the arc).
+	w.AddCar(16, -2.5, geom.Deg2Rad(8))
+	w.AddCar(30, 0.5, geom.Deg2Rad(20))
+	w.AddTruck(39, 4.4, geom.Deg2Rad(32))
+	w.AddCar(48, 9.5, geom.Deg2Rad(38)) // behind the truck from t7
+	w.AddCar(58, 17, geom.Deg2Rad(50))
+	w.AddCar(66, 27, geom.Deg2Rad(62))
+	w.AddCar(6, 2.6, math.Pi+geom.Deg2Rad(6)) // oncoming near t7
+	w.AddCyclist(22, 5.5, geom.Deg2Rad(15))
+
+	sc.Poses = []geom.Transform{
+		VehiclePose(0, 0, 0),
+		VehiclePose(44, 19, geom.Deg2Rad(45)), // 48.1 m ahead around the bend
+	}
+	sc.PoseLabels = []string{"t7", "t8"}
+	sc.Cases = []CoopCase{{Name: "t7+t8", I: 0, J: 1}}
+	return sc
+}

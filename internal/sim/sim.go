@@ -1,0 +1,109 @@
+// Package sim provides a small discrete-event simulation used to play out
+// multi-vehicle Cooper timelines: vehicles drive along waypoint
+// trajectories, sense at their LiDAR rate and exchange ROI data at the
+// paper's 1 Hz cooperative rate, with DSRC transmission delays applied to
+// package delivery.
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Event is a scheduled callback.
+type Event struct {
+	At time.Duration
+	// Run executes the event; it may schedule further events.
+	Run func(now time.Duration)
+
+	seq int // tie-breaker preserving schedule order
+}
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].At != q[j].At {
+		return q[i].At < q[j].At
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*Event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Clock runs a discrete-event timeline. The zero value is ready to use.
+type Clock struct {
+	now   time.Duration
+	queue eventQueue
+	seq   int
+}
+
+// Now returns the current simulated time.
+func (c *Clock) Now() time.Duration { return c.now }
+
+// Schedule enqueues a callback at an absolute simulated time. Events in
+// the past run immediately at the current time on the next step.
+func (c *Clock) Schedule(at time.Duration, run func(now time.Duration)) {
+	if at < c.now {
+		at = c.now
+	}
+	c.seq++
+	heap.Push(&c.queue, &Event{At: at, Run: run, seq: c.seq})
+}
+
+// After enqueues a callback delay after the current time.
+func (c *Clock) After(delay time.Duration, run func(now time.Duration)) {
+	c.Schedule(c.now+delay, run)
+}
+
+// Every schedules a recurring callback with the given period, starting at
+// start, until the callback returns false.
+func (c *Clock) Every(start, period time.Duration, run func(now time.Duration) bool) {
+	var tick func(now time.Duration)
+	tick = func(now time.Duration) {
+		if !run(now) {
+			return
+		}
+		c.Schedule(now+period, tick)
+	}
+	c.Schedule(start, tick)
+}
+
+// Step runs the next event. It returns false when the queue is empty.
+func (c *Clock) Step() bool {
+	if c.queue.Len() == 0 {
+		return false
+	}
+	e := heap.Pop(&c.queue).(*Event)
+	c.now = e.At
+	e.Run(c.now)
+	return true
+}
+
+// RunUntil executes events until the queue empties or the next event
+// would pass the deadline. The clock finishes at min(deadline, last event
+// time).
+func (c *Clock) RunUntil(deadline time.Duration) {
+	for c.queue.Len() > 0 {
+		next := c.queue[0]
+		if next.At > deadline {
+			c.now = deadline
+			return
+		}
+		c.Step()
+	}
+	if c.now < deadline {
+		c.now = deadline
+	}
+}
+
+// Pending returns the number of queued events.
+func (c *Clock) Pending() int { return c.queue.Len() }

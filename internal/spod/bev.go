@@ -1,0 +1,116 @@
+package spod
+
+import (
+	"cooper/internal/pointcloud"
+)
+
+// BEVCell is one bird's-eye-view column of the feature map produced by
+// collapsing the sparse 3D tensor vertically.
+type BEVCell struct {
+	// Objectness is the vertically summed smoothed density — the RPN's
+	// per-location confidence input.
+	Objectness float64
+	// TopZ is the highest occupied voxel top (metres above ground).
+	TopZ float64
+}
+
+// BEVMap is a sparse bird's-eye-view feature map keyed by (x, y) voxel
+// coordinates (z = 0).
+type BEVMap struct {
+	SizeXY float64
+	Cells  map[pointcloud.VoxelKey]*BEVCell
+}
+
+// projectBEV collapses a sparse tensor to the BEV map, reading voxel tops
+// from the grid.
+func projectBEV(t *SparseTensor, g *VoxelGrid) *BEVMap {
+	m := &BEVMap{SizeXY: g.SizeXY, Cells: make(map[pointcloud.VoxelKey]*BEVCell, len(t.Features))}
+	for k, f := range t.Features {
+		col := pointcloud.VoxelKey{X: k.X, Y: k.Y, Z: 0}
+		cell, ok := m.Cells[col]
+		if !ok {
+			cell = &BEVCell{}
+			m.Cells[col] = cell
+		}
+		cell.Objectness += f[0]
+		top := (float64(k.Z) + 1) * g.SizeZ
+		if top > cell.TopZ {
+			cell.TopZ = top
+		}
+	}
+	return m
+}
+
+// proposalComponents thresholds the BEV objectness and groups the
+// surviving cells into 8-connected components — the region proposal stage.
+// Components are returned as cell-key lists in deterministic order
+// (seeded by scanning order over sorted keys).
+func proposalComponents(m *BEVMap, threshold float64) [][]pointcloud.VoxelKey {
+	// Collect candidate cells, dilated by two cells so that evidence
+	// separated by small gaps (glancing-incidence returns along a car
+	// side) groups into one proposal — the analogue of the RPN's wide
+	// receptive field.
+	const dilate = 2
+	candidates := make(map[pointcloud.VoxelKey]bool, len(m.Cells))
+	for k, c := range m.Cells {
+		if c.Objectness < threshold {
+			continue
+		}
+		for dx := int32(-dilate); dx <= dilate; dx++ {
+			for dy := int32(-dilate); dy <= dilate; dy++ {
+				candidates[pointcloud.VoxelKey{X: k.X + dx, Y: k.Y + dy}] = true
+			}
+		}
+	}
+	// Deterministic seed order.
+	keys := make([]pointcloud.VoxelKey, 0, len(candidates))
+	for k := range candidates {
+		keys = append(keys, k)
+	}
+	sortKeys(keys)
+
+	visited := make(map[pointcloud.VoxelKey]bool, len(candidates))
+	var comps [][]pointcloud.VoxelKey
+	var stack []pointcloud.VoxelKey
+	for _, seed := range keys {
+		if visited[seed] {
+			continue
+		}
+		var comp []pointcloud.VoxelKey
+		stack = append(stack[:0], seed)
+		visited[seed] = true
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, cur)
+			for dx := int32(-1); dx <= 1; dx++ {
+				for dy := int32(-1); dy <= 1; dy++ {
+					if dx == 0 && dy == 0 {
+						continue
+					}
+					nb := pointcloud.VoxelKey{X: cur.X + dx, Y: cur.Y + dy}
+					if candidates[nb] && !visited[nb] {
+						visited[nb] = true
+						stack = append(stack, nb)
+					}
+				}
+			}
+		}
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// sortKeys orders voxel keys lexicographically (x, then y, then z).
+func sortKeys(keys []pointcloud.VoxelKey) {
+	// Insertion-free: use sort.Slice from stdlib.
+	sortSlice(keys, func(a, b pointcloud.VoxelKey) bool {
+		if a.X != b.X {
+			return a.X < b.X
+		}
+		if a.Y != b.Y {
+			return a.Y < b.Y
+		}
+		return a.Z < b.Z
+	})
+}

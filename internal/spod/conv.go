@@ -1,0 +1,131 @@
+package spod
+
+import (
+	"cooper/internal/pointcloud"
+)
+
+// convChannels is the width of the sparse feature maps: density, height
+// span and mean intensity.
+const convChannels = 3
+
+// SparseTensor is a sparse 3D feature map: only voxels with data carry a
+// feature vector. This mirrors the sparse convolutional middle layers of
+// SECOND/SPOD, where "output points are not computed if there is no
+// related input points".
+type SparseTensor struct {
+	Features map[pointcloud.VoxelKey][]float64
+}
+
+// toSparseTensor lifts a voxel grid into the initial feature tensor.
+func toSparseTensor(g *VoxelGrid) *SparseTensor {
+	t := &SparseTensor{Features: make(map[pointcloud.VoxelKey][]float64, len(g.Cells))}
+	for k, f := range g.Cells {
+		t.Features[k] = []float64{f.Density, f.SpanZ, f.MeanIntensity}
+	}
+	return t
+}
+
+// ConvWeights parameterises one sparse convolution layer: a 3×3×3
+// depthwise spatial kernel shared across channels plus a channel-mixing
+// matrix, followed by ReLU.
+type ConvWeights struct {
+	// Spatial holds the 27 kernel taps indexed [dz+1][dy+1][dx+1].
+	Spatial [3][3][3]float64
+	// Mix is the channels×channels pointwise matrix applied after the
+	// spatial pass.
+	Mix [convChannels][convChannels]float64
+	// Bias is added per channel before ReLU.
+	Bias [convChannels]float64
+}
+
+// gaussianKernel returns a normalised 3×3×3 blur: centre-weighted so
+// isolated voxels keep most of their signal while neighbourhood evidence
+// reinforces.
+func gaussianKernel() [3][3][3]float64 {
+	var k [3][3][3]float64
+	sum := 0.0
+	for dz := -1; dz <= 1; dz++ {
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				w := 1.0
+				for _, d := range []int{dx, dy, dz} {
+					if d == 0 {
+						w *= 2
+					}
+				}
+				k[dz+1][dy+1][dx+1] = w
+				sum += w
+			}
+		}
+	}
+	for dz := 0; dz < 3; dz++ {
+		for dy := 0; dy < 3; dy++ {
+			for dx := 0; dx < 3; dx++ {
+				k[dz][dy][dx] /= sum
+			}
+		}
+	}
+	return k
+}
+
+// DefaultMiddleLayers returns the two fixed sparse convolution layers of
+// the middle network: both smooth spatially; the channel mix keeps the
+// three feature channels mostly independent with slight density↔span
+// coupling so structured (tall, dense) evidence reinforces itself.
+func DefaultMiddleLayers() []ConvWeights {
+	blur := gaussianKernel()
+	layer := ConvWeights{
+		Spatial: blur,
+		Mix: [convChannels][convChannels]float64{
+			{0.9, 0.1, 0.0},
+			{0.1, 0.9, 0.0},
+			{0.0, 0.0, 1.0},
+		},
+	}
+	return []ConvWeights{layer, layer}
+}
+
+// Apply runs the sparse convolution. Output sites are exactly the occupied
+// input sites: the "submanifold" sparse convolution that keeps compute
+// proportional to occupancy.
+func (w ConvWeights) Apply(in *SparseTensor) *SparseTensor {
+	out := &SparseTensor{Features: make(map[pointcloud.VoxelKey][]float64, len(in.Features))}
+	for k := range in.Features {
+		var spatial [convChannels]float64
+		for dz := int32(-1); dz <= 1; dz++ {
+			for dy := int32(-1); dy <= 1; dy++ {
+				for dx := int32(-1); dx <= 1; dx++ {
+					nb, ok := in.Features[pointcloud.VoxelKey{X: k.X + dx, Y: k.Y + dy, Z: k.Z + dz}]
+					if !ok {
+						continue
+					}
+					tap := w.Spatial[dz+1][dy+1][dx+1]
+					for c := 0; c < convChannels; c++ {
+						spatial[c] += tap * nb[c]
+					}
+				}
+			}
+		}
+		feat := make([]float64, convChannels)
+		for o := 0; o < convChannels; o++ {
+			v := w.Bias[o]
+			for c := 0; c < convChannels; c++ {
+				v += w.Mix[o][c] * spatial[c]
+			}
+			if v < 0 { // ReLU
+				v = 0
+			}
+			feat[o] = v
+		}
+		out.Features[k] = feat
+	}
+	return out
+}
+
+// runMiddleLayers applies the layer stack in order.
+func runMiddleLayers(t *SparseTensor, layers []ConvWeights) *SparseTensor {
+	for _, l := range layers {
+		t = l.Apply(t)
+	}
+	return t
+}

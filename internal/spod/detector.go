@@ -1,0 +1,267 @@
+package spod
+
+import (
+	"time"
+
+	"cooper/internal/geom"
+	"cooper/internal/pointcloud"
+)
+
+// Config parameterises the SPOD detector pipeline.
+type Config struct {
+	// Spherical controls the dense-representation preprocessing;
+	// UseSpherical disables it when false. The spherical projection is
+	// origin-dependent: correct for a single-sensor cloud in its own
+	// frame, but it would resample a cooperative multi-origin merge at
+	// the receiver's angular resolution and destroy the transmitter's
+	// dense detail of distant regions — cooperative detection therefore
+	// disables it and sets DedupVoxel instead.
+	Spherical    SphericalConfig
+	UseSpherical bool
+	// DedupVoxel, when positive, voxel-downsamples the input at this
+	// edge length: the origin-free deduplication for merged clouds.
+	// 8 cm keeps every distinct surface while bounding density.
+	DedupVoxel float64
+	// VoxelSizeXY and VoxelSizeZ are the voxel feature encoder's cell
+	// dimensions, metres.
+	VoxelSizeXY, VoxelSizeZ float64
+	// MiddleLayers is the sparse convolution stack.
+	MiddleLayers []ConvWeights
+	// ObjectnessThreshold gates BEV cells entering region proposal.
+	ObjectnessThreshold float64
+	// MinClusterPoints discards proposals with fewer supporting points.
+	MinClusterPoints int
+	// GroundTolerance is the height above the estimated ground below
+	// which points are treated as road surface.
+	GroundTolerance float64
+	// MaxDetectionRange drops proposals farther than this from the
+	// sensor, metres.
+	MaxDetectionRange float64
+	// VerticalFOVTop is the sensor's highest beam elevation (radians).
+	// Clusters truncated at this ceiling are rejected as cars — a
+	// passenger car roof always sits below the ceiling for Velodyne
+	// geometry, so anything filling the FOV vertically is a taller
+	// object. Set from the LiDAR model in use (HDL-64E: +2°, VLP-16: +15°).
+	VerticalFOVTop float64
+	// Score is the score head; ScoreThreshold is the acceptance cut —
+	// the paper draws boxes for detections and "X" when the score is too
+	// low.
+	Score          ScoreWeights
+	ScoreThreshold float64
+	// NMSIoU is the BEV IoU above which overlapping detections merge.
+	NMSIoU float64
+}
+
+// DefaultConfig returns the configuration used throughout the evaluation.
+func DefaultConfig() Config {
+	return Config{
+		Spherical:           DefaultSphericalConfig(),
+		UseSpherical:        true,
+		VoxelSizeXY:         0.2,
+		VoxelSizeZ:          0.25,
+		MiddleLayers:        DefaultMiddleLayers(),
+		ObjectnessThreshold: 0.05,
+		MinClusterPoints:    10,
+		GroundTolerance:     0.25,
+		MaxDetectionRange:   70,
+		VerticalFOVTop:      geom.Deg2Rad(15),
+		Score:               DefaultScoreWeights(),
+		ScoreThreshold:      0.50,
+		NMSIoU:              0.1,
+	}
+}
+
+// Stats reports per-stage instrumentation for one detection pass — the
+// data behind the paper's Fig. 9 latency comparison.
+type Stats struct {
+	InputPoints     int
+	ProjectedPoints int
+	NonGroundPoints int
+	VoxelCount      int
+	ProposalCount   int
+	CandidateCount  int
+
+	PreprocessTime time.Duration
+	VoxelTime      time.Duration
+	ConvTime       time.Duration
+	ProposalTime   time.Duration
+	FitTime        time.Duration
+	Total          time.Duration
+}
+
+// Detector runs the SPOD pipeline. It is stateless apart from its
+// configuration and safe for concurrent use.
+type Detector struct {
+	cfg Config
+}
+
+// New returns a detector with the given configuration.
+func New(cfg Config) *Detector { return &Detector{cfg: cfg} }
+
+// NewDefault returns a detector with DefaultConfig.
+func NewDefault() *Detector { return New(DefaultConfig()) }
+
+// CoopConfig derives the cooperative-detection configuration from a
+// single-shot configuration: the origin-dependent spherical preprocessing
+// is replaced by an origin-free voxel dedup, and the receiver-centred
+// range gate widens by the inter-vehicle distance so the union of both
+// vehicles' detection areas stays covered.
+func CoopConfig(base Config, interVehicleDist float64) Config {
+	base.UseSpherical = false
+	base.DedupVoxel = 0.10
+	base.MaxDetectionRange += interVehicleDist
+	return base
+}
+
+// Config returns the detector's configuration.
+func (d *Detector) Config() Config { return d.cfg }
+
+// Detect runs the pipeline on a sensor-frame cloud and returns the
+// detected cars.
+func (d *Detector) Detect(cloud *pointcloud.Cloud) []Detection {
+	dets, _ := d.DetectWithStats(cloud)
+	return dets
+}
+
+// DetectWithStats runs the pipeline and reports stage instrumentation.
+func (d *Detector) DetectWithStats(cloud *pointcloud.Cloud) ([]Detection, Stats) {
+	var st Stats
+	st.InputPoints = cloud.Len()
+	start := time.Now()
+
+	// Stage 1 — preprocessing: spherical projection to a dense, deduped
+	// representation (SqueezeSeg-style) for single-origin clouds, or an
+	// origin-free voxel dedup for merged ones; then ground removal.
+	t0 := time.Now()
+	work := cloud
+	if d.cfg.UseSpherical {
+		work = ProjectSpherical(cloud, d.cfg.Spherical).ToCloud()
+	} else if d.cfg.DedupVoxel > 0 {
+		work = cloud.VoxelDownsample(d.cfg.DedupVoxel)
+	}
+	st.ProjectedPoints = work.Len()
+	groundZ := work.EstimateGroundZ()
+	nonGround := work.RemoveGroundPlane(groundZ, d.cfg.GroundTolerance)
+	st.NonGroundPoints = nonGround.Len()
+	st.PreprocessTime = time.Since(t0)
+
+	// Stage 2 — voxel feature encoding.
+	t0 = time.Now()
+	grid := Voxelize(nonGround, d.cfg.VoxelSizeXY, d.cfg.VoxelSizeZ, groundZ)
+	st.VoxelCount = grid.OccupiedVoxels()
+	st.VoxelTime = time.Since(t0)
+
+	// Stage 3 — sparse convolutional middle layers.
+	t0 = time.Now()
+	tensor := runMiddleLayers(toSparseTensor(grid), d.cfg.MiddleLayers)
+	st.ConvTime = time.Since(t0)
+
+	// Stage 4 — BEV projection and region proposal.
+	t0 = time.Now()
+	bev := projectBEV(tensor, grid)
+	comps := proposalComponents(bev, d.cfg.ObjectnessThreshold)
+	st.ProposalCount = len(comps)
+	st.ProposalTime = time.Since(t0)
+
+	// Stage 5 — anchor fitting, scoring, fragment merging, NMS.
+	t0 = time.Now()
+	type scored struct {
+		cand   candidate
+		points clusterPoints
+		comp   int
+		score  float64
+	}
+	var pool []scored
+	for ci, comp := range comps {
+		var idxs []int
+		for _, cell := range comp {
+			idxs = append(idxs, grid.Points[cell]...)
+		}
+		if len(idxs) < d.cfg.MinClusterPoints {
+			continue
+		}
+		cp := gatherCluster(nonGround, idxs)
+		for _, sub := range splitCluster(cp) {
+			best, ok := d.bestCandidate(sub, groundZ)
+			if !ok {
+				continue
+			}
+			st.CandidateCount++
+			pool = append(pool, scored{cand: best.cand, points: sub, comp: ci, score: best.score})
+		}
+	}
+
+	// Fragment merge: two views of one car (e.g. a receiver seeing the
+	// front face and a cooperating transmitter the rear) can land in
+	// disjoint proposals. If the union of two nearby fragments refits a
+	// car anchor with a strictly better score than either fragment, the
+	// completed rectangle is the right hypothesis. Only incomplete
+	// fragments (observed extents well short of a full car) are merge
+	// seeds — complete rectangles gain nothing, and skipping them keeps
+	// the pass cheap.
+	incomplete := func(s scored) bool {
+		return s.cand.stats.extAlongL < 3.4 || s.cand.stats.extAlongW < 1.2
+	}
+	nOrig := len(pool)
+	for i := 0; i < nOrig; i++ {
+		if !incomplete(pool[i]) {
+			continue
+		}
+		for j := i + 1; j < nOrig; j++ {
+			if pool[i].comp == pool[j].comp || !incomplete(pool[j]) {
+				continue
+			}
+			if centroidDistBEV(pool[i].points, pool[j].points) > 4.3 {
+				continue
+			}
+			union := concatClusters(pool[i].points, pool[j].points)
+			best, ok := d.bestCandidate(union, groundZ)
+			if !ok {
+				continue
+			}
+			const margin = 0.02
+			if best.score > pool[i].score+margin && best.score > pool[j].score+margin {
+				pool = append(pool, scored{cand: best.cand, points: union, comp: -1, score: best.score})
+			}
+		}
+	}
+
+	var dets []Detection
+	for _, s := range pool {
+		if s.score < d.cfg.ScoreThreshold {
+			continue
+		}
+		dets = append(dets, Detection{
+			Box:       s.cand.box,
+			Score:     s.score,
+			NumPoints: s.cand.stats.n,
+		})
+	}
+	dets = nms(dets, d.cfg.NMSIoU)
+	st.FitTime = time.Since(t0)
+	st.Total = time.Since(start)
+	return dets, st
+}
+
+type scoredCandidate struct {
+	cand  candidate
+	score float64
+}
+
+// bestCandidate fits anchors to a cluster and returns the highest-scoring
+// plausible one.
+func (d *Detector) bestCandidate(cp clusterPoints, groundZ float64) (scoredCandidate, bool) {
+	best := scoredCandidate{score: -1}
+	for _, cand := range fitCandidates(cp, groundZ, geom.Vec2{}) {
+		if cand.stats.rangeXY > d.cfg.MaxDetectionRange {
+			continue
+		}
+		if !plausibleCar(cand.stats, d.cfg.VerticalFOVTop) {
+			continue
+		}
+		if score := d.cfg.Score.Score(cand.stats); score > best.score {
+			best = scoredCandidate{cand: cand, score: score}
+		}
+	}
+	return best, best.score >= 0
+}

@@ -1,0 +1,61 @@
+package spod
+
+import (
+	"cooper/internal/geom"
+	"math"
+)
+
+// Detection is one detected object: an oriented 3D box with a confidence
+// score, plus the supporting point count for diagnostics.
+type Detection struct {
+	Box       geom.Box
+	Score     float64
+	NumPoints int
+}
+
+// nms performs greedy non-maximum suppression on BEV IoU: detections are
+// taken in descending score order and any remaining detection overlapping
+// an accepted one by more than iouThresh is suppressed. Ties break on
+// point count then position for determinism.
+func nms(dets []Detection, iouThresh float64) []Detection {
+	if len(dets) <= 1 {
+		return dets
+	}
+	sorted := make([]Detection, len(dets))
+	copy(sorted, dets)
+	sortSlice(sorted, func(a, b Detection) bool {
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		if a.NumPoints != b.NumPoints {
+			return a.NumPoints > b.NumPoints
+		}
+		if a.Box.Center.X != b.Box.Center.X {
+			return a.Box.Center.X < b.Box.Center.X
+		}
+		return a.Box.Center.Y < b.Box.Center.Y
+	})
+	kept := make([]Detection, 0, len(sorted))
+	for _, d := range sorted {
+		ok := true
+		for _, k := range kept {
+			if geom.IoUBEV(d.Box, k.Box) > iouThresh {
+				ok = false
+				break
+			}
+			// Intersection-over-minimum-area catches a small box riding
+			// on a face of an accepted larger detection (the two legs of
+			// an L-shaped cluster fitted separately).
+			inter := geom.IntersectionAreaBEV(d.Box, k.Box)
+			minArea := math.Min(d.Box.Length*d.Box.Width, k.Box.Length*k.Box.Width)
+			if minArea > 0 && inter/minArea > 0.35 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}

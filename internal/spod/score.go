@@ -1,0 +1,79 @@
+package spod
+
+import "math"
+
+// ScoreWeights parameterises the detection score head. The head is a
+// fixed-weight analogue of the RPN classification branch: a bounded linear
+// combination of normalised evidence terms. Scores are monotone in every
+// evidence term, which is the property the paper's experiments rely on
+// (more points from cooperative merging ⇒ higher score, never lower).
+type ScoreWeights struct {
+	// CoverageRef is the footprint coverage treated as "fully covered"
+	// (LiDAR sees at most a couple of faces plus roof from one view).
+	CoverageRef float64
+	// PointRef is the point count treated as saturated evidence.
+	PointRef float64
+	// WCoverage, WPoints, WHeight and WDims weight the evidence terms;
+	// they should sum to 1.
+	WCoverage, WPoints, WHeight, WDims float64
+	// Floor and Gain map total evidence to the output score:
+	// score = Floor + Gain·evidence, clamped to [0, MaxScore].
+	Floor, Gain float64
+	// MaxScore caps the output (detectors never emit 1.0 in practice).
+	MaxScore float64
+}
+
+// DefaultScoreWeights returns the calibrated head. Calibration targets the
+// paper's observed score ranges: confident nearby cars ≈ 0.8–0.87, sparse
+// or distant cars ≈ 0.5–0.6, sub-0.5 treated as a miss.
+func DefaultScoreWeights() ScoreWeights {
+	return ScoreWeights{
+		CoverageRef: 0.35,
+		PointRef:    200,
+		WCoverage:   0.30,
+		WPoints:     0.30,
+		WHeight:     0.15,
+		WDims:       0.25,
+		Floor:       0.30,
+		Gain:        0.60,
+		MaxScore:    0.90,
+	}
+}
+
+// axisConsistency grades an observed extent against an anchor dimension:
+// a close match is strong evidence (a whole face or side was seen),
+// falling short is weak-but-plausible evidence (occlusion truncates), and
+// exceeding the dimension is counter-evidence.
+func axisConsistency(ext, dim float64) float64 {
+	switch {
+	case ext > dim+0.25:
+		return math.Max(0, 1-(ext-dim))
+	case ext > dim-0.35:
+		return 1.0
+	default:
+		return 0.5
+	}
+}
+
+// Score maps fit evidence to a detection confidence in [0, MaxScore].
+func (w ScoreWeights) Score(st fitStats) float64 {
+	cov := math.Min(st.coverage/w.CoverageRef, 1)
+	pts := math.Min(math.Log1p(float64(st.n))/math.Log1p(w.PointRef), 1)
+	hgt := math.Min(st.heightSpan/1.30, 1)
+	// A roofline near the true car height is corroborating evidence; a
+	// cluster that tops out far below (only wheels/sills visible) is not.
+	topFit := 1.0 - math.Min(math.Abs(st.heightTop-1.5)/1.5, 1)
+	hgt = 0.7*hgt + 0.3*topFit
+
+	dims := (axisConsistency(st.extAlongL, 3.9) + axisConsistency(st.extAlongW, 1.6)) / 2
+
+	evidence := w.WCoverage*cov + w.WPoints*pts + w.WHeight*hgt + w.WDims*dims
+	score := w.Floor + w.Gain*evidence
+	if score > w.MaxScore {
+		score = w.MaxScore
+	}
+	if score < 0 {
+		score = 0
+	}
+	return score
+}

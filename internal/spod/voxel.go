@@ -1,0 +1,88 @@
+package spod
+
+import (
+	"math"
+
+	"cooper/internal/pointcloud"
+)
+
+// VoxelFeature is the encoded feature vector of one occupied voxel — the
+// analogue of VoxelNet's voxel feature encoding (VFE) layer output. The
+// channels are fixed statistics rather than learned embeddings.
+type VoxelFeature struct {
+	// Count is the number of points in the voxel.
+	Count int
+	// Density is log1p(Count), the channel the convolution smooths.
+	Density float64
+	// MeanZ and SpanZ summarise the voxel's height content (metres,
+	// relative to the estimated ground).
+	MeanZ, SpanZ float64
+	// MeanIntensity is the mean reflectance.
+	MeanIntensity float64
+}
+
+// VoxelGrid is the sparse voxelised representation of a (ground-removed)
+// cloud.
+type VoxelGrid struct {
+	// SizeXY and SizeZ are the voxel edge lengths.
+	SizeXY, SizeZ float64
+	// GroundZ is the ground height subtracted from height features.
+	GroundZ float64
+	// Cells maps voxel coordinates to features; only occupied voxels are
+	// present (the sparsity the paper's sparse CNN exploits).
+	Cells map[pointcloud.VoxelKey]*VoxelFeature
+	// Points keeps the raw point indices per BEV column (x, y voxel
+	// coordinates with z = 0), for the box-fitting stage.
+	Points map[pointcloud.VoxelKey][]int
+}
+
+// Voxelize encodes a cloud into the sparse voxel grid. Points are assumed
+// ground-removed; groundZ anchors the height features.
+func Voxelize(c *pointcloud.Cloud, sizeXY, sizeZ, groundZ float64) *VoxelGrid {
+	g := &VoxelGrid{
+		SizeXY:  sizeXY,
+		SizeZ:   sizeZ,
+		GroundZ: groundZ,
+		Cells:   make(map[pointcloud.VoxelKey]*VoxelFeature, c.Len()/4+1),
+		Points:  make(map[pointcloud.VoxelKey][]int, c.Len()/8+1),
+	}
+	type acc struct {
+		sumZ, minZ, maxZ, sumI float64
+		n                      int
+	}
+	accs := make(map[pointcloud.VoxelKey]*acc, c.Len()/4+1)
+	for i := 0; i < c.Len(); i++ {
+		p := c.At(i)
+		k := pointcloud.VoxelKey{
+			X: int32(math.Floor(p.X / sizeXY)),
+			Y: int32(math.Floor(p.Y / sizeXY)),
+			Z: int32(math.Floor((p.Z - groundZ) / sizeZ)),
+		}
+		a, ok := accs[k]
+		if !ok {
+			a = &acc{minZ: math.Inf(1), maxZ: math.Inf(-1)}
+			accs[k] = a
+		}
+		a.sumZ += p.Z - groundZ
+		a.minZ = math.Min(a.minZ, p.Z-groundZ)
+		a.maxZ = math.Max(a.maxZ, p.Z-groundZ)
+		a.sumI += p.Reflectance
+		a.n++
+
+		col := pointcloud.VoxelKey{X: k.X, Y: k.Y, Z: 0}
+		g.Points[col] = append(g.Points[col], i)
+	}
+	for k, a := range accs {
+		g.Cells[k] = &VoxelFeature{
+			Count:         a.n,
+			Density:       math.Log1p(float64(a.n)),
+			MeanZ:         a.sumZ / float64(a.n),
+			SpanZ:         a.maxZ - a.minZ,
+			MeanIntensity: a.sumI / float64(a.n),
+		}
+	}
+	return g
+}
+
+// OccupiedVoxels returns the number of occupied voxels.
+func (g *VoxelGrid) OccupiedVoxels() int { return len(g.Cells) }

@@ -1,0 +1,72 @@
+// Command coopcheck is a development diagnostic: it runs every
+// cooperative case of the evaluation suite and prints per-case detection
+// counts, accuracies, latencies and payloads, flagging any row where a
+// car detected by a single shot is lost in the cooperative pass.
+package main
+
+import (
+	"fmt"
+
+	"cooper/internal/core"
+	"cooper/internal/eval"
+	"cooper/internal/scene"
+)
+
+func main() {
+	totalRows, improved, recovered, regressions := 0, 0, 0, 0
+	for _, sc := range scene.AllScenarios() {
+		r := core.NewScenarioRunner(sc)
+		outcomes, err := r.RunAll(core.RunOptions{})
+		if err != nil {
+			panic(err)
+		}
+		for _, o := range outcomes {
+			nI := eval.CountDetected(cellsOf(o, 0))
+			nJ := eval.CountDetected(cellsOf(o, 1))
+			nC := eval.CountDetected(cellsOf(o, 2))
+			fmt.Printf("%-14s %-8s Δd=%5.1f  detected: i=%2d j=%2d coop=%2d  FP: %d/%d/%d  acc: %3.0f/%3.0f/%3.0f  time: %2d/%2d/%2dms payload=%dKB\n",
+				sc.Name, o.Case.Name, o.DeltaD, nI, nJ, nC, o.FPI, o.FPJ, o.FPCoop,
+				eval.Accuracy(cellsOf(o, 0)), eval.Accuracy(cellsOf(o, 1)), eval.Accuracy(cellsOf(o, 2)),
+				o.StatsI.Total.Milliseconds(), o.StatsJ.Total.Milliseconds(), o.StatsCoop.Total.Milliseconds(),
+				o.PayloadBytes/1024)
+			for _, row := range o.Rows {
+				totalRows++
+				if imp, ok := eval.ScoreImprovement(row.I, row.J, row.Coop); ok {
+					if imp > 1 {
+						improved++
+					}
+					if !row.I.Detected() && !row.J.Detected() {
+						recovered++
+					}
+				}
+				best := 0.0
+				if row.I.Detected() {
+					best = row.I.Score
+				}
+				if row.J.Detected() && row.J.Score > best {
+					best = row.J.Score
+				}
+				if best > 0 && !row.Coop.Detected() {
+					regressions++
+					fmt.Printf("    REGRESSION car%02d: i=%s j=%s coop=%s\n", row.CarID, row.I, row.J, row.Coop)
+				}
+			}
+		}
+	}
+	fmt.Printf("\nrows=%d improved=%d hard-recovered=%d regressions=%d\n", totalRows, improved, recovered, regressions)
+}
+
+func cellsOf(o *core.CaseOutcome, col int) []eval.Cell {
+	out := make([]eval.Cell, 0, len(o.Rows))
+	for _, r := range o.Rows {
+		switch col {
+		case 0:
+			out = append(out, r.I)
+		case 1:
+			out = append(out, r.J)
+		default:
+			out = append(out, r.Coop)
+		}
+	}
+	return out
+}
