@@ -36,6 +36,53 @@ func benchFigure(b *testing.B, fig int) {
 	}
 }
 
+// --- Parallel evaluation engine: sequential vs parallel full suite ---
+//
+// The pair below is the headline perf-trajectory number for the parallel
+// engine: the full 8-scenario, 19-case evaluation run case-by-case on one
+// goroutine versus fanned out across the CPUs. Outputs are identical
+// (see internal/core TestRunAllParallelMatchesSequential); only
+// wall-clock time may differ.
+
+func benchSuite(b *testing.B, workers int) {
+	b.Helper()
+	scenarios := scene.AllScenarios()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, sc := range scenarios {
+			runner := cooper.NewScenarioRunner(sc).SetWorkers(workers)
+			if _, err := runner.RunAll(cooper.RunOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkSuiteSequential(b *testing.B) { benchSuite(b, 1) }
+func BenchmarkSuiteParallel(b *testing.B)   { benchSuite(b, 0) }
+
+// The figure-level pair additionally exercises the concurrent generator
+// fan-out and the suite's shared caches.
+
+func BenchmarkAllFiguresSequential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		suite := experiments.NewSuite().SetWorkers(1)
+		for _, f := range experiments.Figures() {
+			if err := experiments.Run(suite, f, io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkAllFiguresParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.NewSuite().SetWorkers(0).RunAllFigures(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkFig02KITTIExample(b *testing.B)     { benchFigure(b, 2) }
 func BenchmarkFig03KITTIScenarios(b *testing.B)   { benchFigure(b, 3) }
 func BenchmarkFig04KITTIAccuracy(b *testing.B)    { benchFigure(b, 4) }

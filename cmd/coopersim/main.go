@@ -29,6 +29,7 @@ func run() error {
 	list := flag.Bool("list", false, "list scenarios")
 	drift := flag.String("drift", "", "GPS drift mode: xy, one-axis, 2x")
 	icp := flag.Bool("icp", false, "refine alignment with ICP")
+	workers := flag.Int("workers", 0, "max goroutines for case evaluation (0 = one per CPU, 1 = sequential)")
 	flag.Parse()
 
 	scenarios := scene.AllScenarios()
@@ -64,7 +65,7 @@ func run() error {
 		return fmt.Errorf("unknown drift mode %q", *drift)
 	}
 
-	runner := core.NewScenarioRunner(target)
+	runner := core.NewScenarioRunner(target).SetWorkers(*workers)
 	outcomes, err := runner.RunAll(opts)
 	if err != nil {
 		return err

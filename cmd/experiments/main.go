@@ -24,6 +24,7 @@ func run() error {
 	fig := flag.Int("fig", 0, "figure number to regenerate (2-13)")
 	all := flag.Bool("all", false, "regenerate every figure")
 	list := flag.Bool("list", false, "list available figures")
+	workers := flag.Int("workers", 0, "max goroutines for the evaluation engine (0 = one per CPU, 1 = sequential)")
 	flag.Parse()
 
 	if *list {
@@ -31,16 +32,12 @@ func run() error {
 		return nil
 	}
 
-	suite := experiments.NewSuite()
+	suite := experiments.NewSuite().SetWorkers(*workers)
 	switch {
 	case *all:
-		for _, f := range experiments.Figures() {
-			if err := experiments.Run(suite, f, os.Stdout); err != nil {
-				return err
-			}
-			fmt.Println()
-		}
-		return nil
+		// Figure generators run concurrently; reports are emitted in
+		// figure order and are identical to a sequential loop.
+		return suite.RunAllFigures(os.Stdout)
 	case *fig != 0:
 		return experiments.Run(suite, *fig, os.Stdout)
 	default:

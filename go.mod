@@ -1,0 +1,3 @@
+module cooper
+
+go 1.24

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"cooper/internal/fusion"
+	"cooper/internal/scene"
+	"cooper/internal/spod"
+)
+
+// stripStats zeroes the wall-clock instrumentation, which legitimately
+// varies between runs; everything else in a CaseOutcome must be
+// bit-for-bit reproducible.
+func stripStats(outs []*CaseOutcome) []CaseOutcome {
+	stripped := make([]CaseOutcome, len(outs))
+	for i, o := range outs {
+		c := *o
+		c.StatsI = zeroTimes(c.StatsI)
+		c.StatsJ = zeroTimes(c.StatsJ)
+		c.StatsCoop = zeroTimes(c.StatsCoop)
+		stripped[i] = c
+	}
+	return stripped
+}
+
+func zeroTimes(st spod.Stats) spod.Stats {
+	st.PreprocessTime, st.VoxelTime, st.ConvTime = 0, 0, 0
+	st.ProposalTime, st.FitTime, st.Total = 0, 0, 0
+	return st
+}
+
+// TestRunAllParallelMatchesSequential is the engine's core guarantee:
+// RunAll with one worker and with many workers produces identical
+// outcomes — same case order, rows, scores, detections, false-positive
+// counts and payload bytes.
+func TestRunAllParallelMatchesSequential(t *testing.T) {
+	for _, sc := range []*scene.Scenario{scene.TJScenarios()[0], scene.KITTIScenarios()[0]} {
+		seq, err := NewScenarioRunner(sc).SetWorkers(1).RunAll(RunOptions{})
+		if err != nil {
+			t.Fatalf("%s sequential: %v", sc.Name, err)
+		}
+		par, err := NewScenarioRunner(sc).SetWorkers(8).RunAll(RunOptions{})
+		if err != nil {
+			t.Fatalf("%s parallel: %v", sc.Name, err)
+		}
+		if len(seq) != len(par) {
+			t.Fatalf("%s: %d sequential outcomes vs %d parallel", sc.Name, len(seq), len(par))
+		}
+		ss, pp := stripStats(seq), stripStats(par)
+		for i := range ss {
+			if !reflect.DeepEqual(ss[i], pp[i]) {
+				t.Errorf("%s case %s: parallel outcome differs from sequential\nseq: %+v\npar: %+v",
+					sc.Name, sc.Cases[i].Name, ss[i], pp[i])
+			}
+		}
+	}
+}
+
+// TestRunAllParallelMatchesSequentialWithOptions repeats the guarantee
+// under drift injection, whose RNG is per-case (seeded from the options),
+// and ICP refinement.
+func TestRunAllParallelMatchesSequentialWithOptions(t *testing.T) {
+	sc := scene.TJScenarios()[1]
+	opts := RunOptions{Drift: fusion.DriftDouble, DriftSeed: 7, UseICP: true}
+	seq, err := NewScenarioRunner(sc).SetWorkers(1).RunAll(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := NewScenarioRunner(sc).SetWorkers(6).RunAll(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stripStats(seq), stripStats(par)) {
+		t.Error("outcomes under drift+ICP differ between worker counts")
+	}
+}
+
+// TestPreSenseMatchesLazySensing checks that parallel pre-sensing yields
+// the same pose clouds lazy on-demand sensing does: each vehicle owns its
+// seeded RNG, so scheduling cannot leak into the data.
+func TestPreSenseMatchesLazySensing(t *testing.T) {
+	sc := scene.TJScenarios()[0]
+
+	lazy := NewScenarioRunner(sc)
+	lazyOut, err := lazy.RunCase(sc.Cases[0], RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pre := NewScenarioRunner(sc).SetWorkers(4)
+	pre.PreSense()
+	preOut, err := pre.RunCase(sc.Cases[0], RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if lazyOut.CloudPointsI != preOut.CloudPointsI || lazyOut.CloudPointsJ != preOut.CloudPointsJ {
+		t.Fatalf("pre-sensed cloud sizes differ: lazy (%d, %d) vs pre (%d, %d)",
+			lazyOut.CloudPointsI, lazyOut.CloudPointsJ, preOut.CloudPointsI, preOut.CloudPointsJ)
+	}
+	if !reflect.DeepEqual(stripStats([]*CaseOutcome{lazyOut}), stripStats([]*CaseOutcome{preOut})) {
+		t.Error("case outcome differs between lazy and pre-sensed paths")
+	}
+}

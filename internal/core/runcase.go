@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"cooper/internal/eval"
 	"cooper/internal/fusion"
 	"cooper/internal/geom"
+	"cooper/internal/parallel"
 	"cooper/internal/pointcloud"
 	"cooper/internal/scene"
 	"cooper/internal/spod"
@@ -69,10 +71,17 @@ type RunOptions struct {
 // ScenarioRunner evaluates a scenario's cooperative cases. It caches each
 // pose's scan so that a pose shared by several cases (car1 in Fig. 6) is
 // sensed exactly once, matching the paper's reuse of captured frames.
+//
+// A runner may evaluate cases concurrently (SetWorkers); outcomes are
+// deterministic — ordering and values identical to the sequential path —
+// because every pose's sensing uses that vehicle's own seeded RNG and all
+// per-case state is private to the case.
 type ScenarioRunner struct {
 	sc       *scene.Scenario
 	vehicles []*Vehicle
 	clouds   []*pointcloud.Cloud // FOV-cropped, per pose
+	sensed   []sync.Once         // guards clouds[i] under concurrent cases
+	workers  int
 }
 
 // NewScenarioRunner prepares vehicles for every pose of the scenario.
@@ -81,6 +90,7 @@ func NewScenarioRunner(sc *scene.Scenario) *ScenarioRunner {
 		sc:       sc,
 		vehicles: make([]*Vehicle, len(sc.Poses)),
 		clouds:   make([]*pointcloud.Cloud, len(sc.Poses)),
+		sensed:   make([]sync.Once, len(sc.Poses)),
 	}
 	for i, pose := range sc.Poses {
 		state := fusion.VehicleState{
@@ -103,17 +113,53 @@ func NewScenarioRunner(sc *scene.Scenario) *ScenarioRunner {
 // Vehicle returns the prepared vehicle for a pose index.
 func (r *ScenarioRunner) Vehicle(i int) *Vehicle { return r.vehicles[i] }
 
+// SetWorkers bounds the goroutines RunAll (and pose pre-sensing) uses for
+// case-level fan-out; < 1 selects one per CPU. Calling it also pins every
+// vehicle's inner scanner/detector stages to one goroutine: case-level
+// parallelism already saturates the cores, and nested fan-out would only
+// add scheduling overhead. SetWorkers(1) therefore yields the fully
+// sequential baseline. Outcomes are identical at any worker count.
+func (r *ScenarioRunner) SetWorkers(n int) *ScenarioRunner {
+	r.workers = n
+	for _, v := range r.vehicles {
+		v.SetWorkers(1)
+	}
+	return r
+}
+
 // cloudFor senses (once) and returns the pose's evaluation cloud, cropped
-// to the scenario's front FOV when one is defined.
+// to the scenario's front FOV when one is defined. Safe for concurrent
+// cases: each pose is sensed exactly once, by whichever case gets there
+// first, and sensing depends only on that vehicle's own seeded RNG.
 func (r *ScenarioRunner) cloudFor(i int) *pointcloud.Cloud {
-	if r.clouds[i] == nil {
+	r.sensed[i].Do(func() {
 		cloud := r.vehicles[i].Sense(r.sc.Scene.Targets(), r.sc.Scene.GroundZ)
 		if r.sc.FrontFOV > 0 {
 			cloud = cloud.CropFOV(0, r.sc.FrontFOV/2)
 		}
 		r.clouds[i] = cloud
-	}
+	})
 	return r.clouds[i]
+}
+
+// PreSense senses every pose that appears in a cooperative case, in
+// parallel across poses. Each Vehicle owns its seeded RNG, so per-pose
+// sensing is deterministic regardless of scheduling. RunAll calls this
+// before fanning out cases; calling it earlier just front-loads the work.
+func (r *ScenarioRunner) PreSense() {
+	used := make([]bool, len(r.vehicles))
+	for _, c := range r.sc.Cases {
+		used[c.I], used[c.J] = true, true
+	}
+	var poses []int
+	for i, u := range used {
+		if u {
+			poses = append(poses, i)
+		}
+	}
+	parallel.For(r.workers, len(poses), func(k int) {
+		r.cloudFor(poses[k])
+	})
 }
 
 // inArea reports whether a car lies inside the detection area of the
@@ -257,15 +303,15 @@ func (r *ScenarioRunner) RunCase(c scene.CoopCase, opts RunOptions) (*CaseOutcom
 	return out, nil
 }
 
-// RunAll evaluates every cooperative case of the scenario.
+// RunAll evaluates every cooperative case of the scenario, fanning cases
+// out over the runner's worker count (SetWorkers; default one per CPU).
+// Pose clouds are pre-sensed in parallel first — each vehicle owns its
+// seeded RNG — then every case computes independently and writes its
+// outcome back by index, so the result slice is identical in order and
+// values to a sequential loop over the cases.
 func (r *ScenarioRunner) RunAll(opts RunOptions) ([]*CaseOutcome, error) {
-	out := make([]*CaseOutcome, 0, len(r.sc.Cases))
-	for _, c := range r.sc.Cases {
-		o, err := r.RunCase(c, opts)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, o)
-	}
-	return out, nil
+	r.PreSense()
+	return parallel.MapErr(r.workers, len(r.sc.Cases), func(i int) (*CaseOutcome, error) {
+		return r.RunCase(r.sc.Cases[i], opts)
+	})
 }

@@ -51,6 +51,17 @@ func NewVehicle(id string, cfg lidar.Config, state fusion.VehicleState, seed int
 // SetDetector replaces the vehicle's detector (for ablations).
 func (v *Vehicle) SetDetector(d *spod.Detector) { v.detector = d }
 
+// SetWorkers bounds the goroutines the vehicle's scanner and detector use
+// internally (< 1 selects one per CPU). Sensing and detection results are
+// identical at any worker count; the knob only changes wall-clock time.
+func (v *Vehicle) SetWorkers(n int) *Vehicle {
+	v.scanner.SetWorkers(n)
+	cfg := v.detector.Config()
+	cfg.Workers = n
+	v.detector = spod.New(cfg)
+	return v
+}
+
 // State returns the vehicle's current GPS/IMU state.
 func (v *Vehicle) State() fusion.VehicleState { return v.state }
 

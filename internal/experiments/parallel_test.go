@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"bytes"
+	"io"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"cooper/internal/core"
+	"cooper/internal/scene"
+)
+
+// TestSuiteConcurrentOutcomesSingleflight hammers the suite caches from
+// many goroutines (run under -race in CI): every caller must observe the
+// same outcome slice, evaluated exactly once.
+func TestSuiteConcurrentOutcomesSingleflight(t *testing.T) {
+	s := NewSuite()
+	sc := s.TJ()[0]
+	const callers = 16
+	results := make([][]*core.CaseOutcome, callers)
+	var wg sync.WaitGroup
+	wg.Add(callers)
+	for i := 0; i < callers; i++ {
+		go func(i int) {
+			defer wg.Done()
+			o, err := s.Outcomes(sc)
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+				return
+			}
+			results[i] = o
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if len(results[i]) == 0 || len(results[0]) == 0 {
+			t.Fatal("missing result")
+		}
+		if results[i][0] != results[0][0] {
+			t.Fatalf("caller %d saw a different evaluation — singleflight failed", i)
+		}
+	}
+}
+
+// TestSuiteConcurrentRunnerAndOutcomes mixes Runner and Outcomes calls
+// across scenarios concurrently — the pattern RunAllFigures produces.
+func TestSuiteConcurrentRunnerAndOutcomes(t *testing.T) {
+	s := NewSuite()
+	var wg sync.WaitGroup
+	for _, sc := range s.All() {
+		wg.Add(2)
+		go func(sc *scene.Scenario) { defer wg.Done(); _ = s.Runner(sc) }(sc)
+		go func(sc *scene.Scenario) {
+			defer wg.Done()
+			if _, err := s.Outcomes(sc); err != nil {
+				t.Error(err)
+			}
+		}(sc)
+	}
+	wg.Wait()
+}
+
+// TestScenarioNameCollisionPanics: two distinct scenario objects sharing
+// a name must be rejected, not silently cross-wired in the caches.
+func TestScenarioNameCollisionPanics(t *testing.T) {
+	s := NewSuite()
+	a := s.TJ()[0]
+	b := *a // distinct object, same name
+	_ = s.Runner(a)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on scenario name collision")
+		}
+	}()
+	_ = s.Runner(&b)
+}
+
+// timingLine matches report lines whose content legitimately varies run
+// to run (wall-clock measurements).
+var timingLine = regexp.MustCompile(`(?i)(ms|µs|latency|time|freshness)`)
+
+func stripTimingLines(s string) string {
+	var out []string
+	for _, ln := range strings.Split(s, "\n") {
+		if timingLine.MatchString(ln) {
+			continue
+		}
+		out = append(out, ln)
+	}
+	return strings.Join(out, "\n")
+}
+
+// TestRunAllFiguresMatchesSequential: the concurrent figure fan-out must
+// emit the same report bytes, in the same figure order, as a sequential
+// loop — timing lines excepted.
+func TestRunAllFiguresMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 8-scenario suite")
+	}
+	var seq bytes.Buffer
+	s1 := NewSuite().SetWorkers(1)
+	for _, f := range Figures() {
+		if err := Run(s1, f, &seq); err != nil {
+			t.Fatal(err)
+		}
+		io.WriteString(&seq, "\n")
+	}
+
+	var par bytes.Buffer
+	if err := NewSuite().SetWorkers(8).RunAllFigures(&par); err != nil {
+		t.Fatal(err)
+	}
+
+	a, b := stripTimingLines(seq.String()), stripTimingLines(par.String())
+	if a != b {
+		t.Errorf("concurrent figure output differs from sequential\n--- sequential ---\n%s\n--- parallel ---\n%s", a, b)
+	}
+}

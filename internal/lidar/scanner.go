@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"cooper/internal/geom"
+	"cooper/internal/parallel"
 	"cooper/internal/pointcloud"
 )
 
@@ -22,14 +23,26 @@ type Scan struct {
 // Scanner simulates a spinning LiDAR. A Scanner is deterministic for a
 // given seed and call sequence; it is not safe for concurrent use.
 type Scanner struct {
-	cfg Config
-	rng *rand.Rand
+	cfg     Config
+	rng     *rand.Rand
+	workers int
 }
 
 // NewScanner returns a scanner for the given device configuration. The
 // seed fixes the noise sequence so experiments are reproducible.
 func NewScanner(cfg Config, seed int64) *Scanner {
 	return &Scanner{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// SetWorkers bounds the goroutines used for the geometric ray-casting
+// phase of a scan. Values < 1 select one worker per CPU. The scan output
+// is byte-identical at every worker count: ray intersection is pure
+// geometry done in parallel, while all noise draws happen in a second,
+// strictly sequential phase that consumes the scanner's RNG in fixed ray
+// order.
+func (s *Scanner) SetWorkers(n int) *Scanner {
+	s.workers = n
+	return s
 }
 
 // SensorTransform returns the transform mapping world coordinates into the
@@ -53,14 +66,46 @@ func (s *Scanner) Config() Config { return s.cfg }
 func (s *Scanner) ScanFrom(pose geom.Transform, targets []Target, groundZ float64) Scan {
 	origin := pose.Apply(geom.V3(0, 0, s.cfg.MountHeight))
 	steps := int(2 * math.Pi / s.cfg.AzimuthStep)
-	cloud := pointcloud.New(steps * s.cfg.BeamCount() / 4)
+	beams := s.cfg.BeamCount()
+	cloud := pointcloud.New(steps * beams / 4)
 	hits := make(map[int]int)
 	toSensor := SensorTransform(pose, s.cfg.MountHeight)
 
-	for step := 0; step < steps; step++ {
+	if parallel.Normalize(s.workers) == 1 {
+		// Single-worker fast path: the original fused loop, with no
+		// staging buffer or second traversal. The two-phase path below
+		// produces bit-identical clouds (see TestScanWorkersByteIdentical).
+		for step := 0; step < steps; step++ {
+			az := float64(step) * s.cfg.AzimuthStep
+			cosAz, sinAz := math.Cos(az), math.Sin(az)
+			for _, el := range s.cfg.BeamElevations {
+				cosEl, sinEl := math.Cos(el), math.Sin(el)
+				dirSensor := geom.Vec3{X: cosEl * cosAz, Y: cosEl * sinAz, Z: sinEl}
+				ray := Ray{Origin: origin, Dir: pose.ApplyDir(dirSensor)}
+				t, idx, ok := nearestHit(ray, targets, groundZ, s.cfg.MaxRange)
+				if !ok {
+					continue
+				}
+				s.applySensorModel(cloud, hits, ray, t, idx, toSensor, targets)
+			}
+		}
+		return Scan{Cloud: cloud, HitsPerObject: hits}
+	}
+
+	// Phase 1 — geometry. Ray/target intersection dominates scan cost and
+	// is pure, so it fans out across azimuth steps; each step writes only
+	// its own row of the hit buffer.
+	type rayHit struct {
+		t   float64
+		dir geom.Vec3
+		idx int32
+		ok  bool
+	}
+	cast := make([]rayHit, steps*beams)
+	parallel.For(s.workers, steps, func(step int) {
 		az := float64(step) * s.cfg.AzimuthStep
 		cosAz, sinAz := math.Cos(az), math.Sin(az)
-		for _, el := range s.cfg.BeamElevations {
+		for b, el := range s.cfg.BeamElevations {
 			cosEl, sinEl := math.Cos(el), math.Sin(el)
 			// Direction in the sensor frame, rotated into the world.
 			dirSensor := geom.Vec3{X: cosEl * cosAz, Y: cosEl * sinAz, Z: sinEl}
@@ -68,40 +113,57 @@ func (s *Scanner) ScanFrom(pose geom.Transform, targets []Target, groundZ float6
 			ray := Ray{Origin: origin, Dir: dirWorld}
 
 			t, idx, ok := nearestHit(ray, targets, groundZ, s.cfg.MaxRange)
-			if !ok || t < s.cfg.MinRange {
-				continue
-			}
-			if s.cfg.DropoutProb > 0 && s.rng.Float64() < s.cfg.DropoutProb {
-				continue
-			}
-			if s.cfg.RangeNoiseStd > 0 {
-				t += s.rng.NormFloat64() * s.cfg.RangeNoiseStd
-				if t < s.cfg.MinRange {
-					continue
-				}
-			}
-			hitWorld := ray.At(t)
-			hitSensor := toSensor.Apply(hitWorld)
-
-			refl := groundReflectivity
-			objID := -1
-			if idx >= 0 {
-				refl = targets[idx].Reflectivity
-				objID = targets[idx].ObjectID
-			}
-			// Simple intensity model: surface reflectivity attenuated
-			// with range, plus small sensor noise.
-			intensity := refl * math.Exp(-t/attenuationLength)
-			intensity += s.rng.NormFloat64() * 0.01
-			intensity = geom.Clamp(intensity, 0, 1)
-
-			cloud.AppendXYZR(hitSensor.X, hitSensor.Y, hitSensor.Z, intensity)
-			if objID >= 0 {
-				hits[objID]++
-			}
+			cast[step*beams+b] = rayHit{t: t, dir: dirWorld, idx: int32(idx), ok: ok}
 		}
+	})
+
+	// Phase 2 — sensor model. Dropout, range noise and intensity noise
+	// consume the scanner's RNG in strict (step, beam) order, so the cloud
+	// is byte-identical for any worker count.
+	for i := range cast {
+		h := &cast[i]
+		if !h.ok {
+			continue
+		}
+		s.applySensorModel(cloud, hits, Ray{Origin: origin, Dir: h.dir}, h.t, int(h.idx), toSensor, targets)
 	}
 	return Scan{Cloud: cloud, HitsPerObject: hits}
+}
+
+// applySensorModel turns one geometric ray hit into a (possibly dropped)
+// cloud point: dropout, range noise, intensity model. It draws from the
+// scanner's RNG, so callers must invoke it in fixed ray order.
+func (s *Scanner) applySensorModel(cloud *pointcloud.Cloud, hits map[int]int, ray Ray, t float64, idx int, toSensor geom.Transform, targets []Target) {
+	if t < s.cfg.MinRange {
+		return
+	}
+	if s.cfg.DropoutProb > 0 && s.rng.Float64() < s.cfg.DropoutProb {
+		return
+	}
+	if s.cfg.RangeNoiseStd > 0 {
+		t += s.rng.NormFloat64() * s.cfg.RangeNoiseStd
+		if t < s.cfg.MinRange {
+			return
+		}
+	}
+	hitSensor := toSensor.Apply(ray.At(t))
+
+	refl := groundReflectivity
+	objID := -1
+	if idx >= 0 {
+		refl = targets[idx].Reflectivity
+		objID = targets[idx].ObjectID
+	}
+	// Simple intensity model: surface reflectivity attenuated with range,
+	// plus small sensor noise.
+	intensity := refl * math.Exp(-t/attenuationLength)
+	intensity += s.rng.NormFloat64() * 0.01
+	intensity = geom.Clamp(intensity, 0, 1)
+
+	cloud.AppendXYZR(hitSensor.X, hitSensor.Y, hitSensor.Z, intensity)
+	if objID >= 0 {
+		hits[objID]++
+	}
 }
 
 const (

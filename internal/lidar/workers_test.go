@@ -1,0 +1,40 @@
+package lidar
+
+import (
+	"testing"
+
+	"cooper/internal/geom"
+)
+
+// TestScanWorkersByteIdentical verifies the two-phase scan: the parallel
+// ray-casting phase must not perturb the sequential RNG phase, so scans
+// at every worker count are bit-for-bit equal.
+func TestScanWorkersByteIdentical(t *testing.T) {
+	targets := []Target{
+		{Box: geom.NewBox(geom.V3(10, 0, 0.78), 3.9, 1.6, 1.56, 0.3), Reflectivity: 0.6, ObjectID: 1},
+		{Box: geom.NewBox(geom.V3(15, 6, 0.78), 3.9, 1.6, 1.56, 1.2), Reflectivity: 0.5, ObjectID: 2},
+		{Box: geom.NewBox(geom.V3(8, -5, 1.5), 6, 2.5, 3, 0), Reflectivity: 0.4, ObjectID: 3},
+	}
+	pose := geom.NewTransform(0.1, 0.02, 0.01, geom.V3(0, 0, 0))
+
+	ref := NewScanner(VLP16(), 42).SetWorkers(1).ScanFrom(pose, targets, 0)
+	for _, workers := range []int{0, 2, 7} {
+		got := NewScanner(VLP16(), 42).SetWorkers(workers).ScanFrom(pose, targets, 0)
+		if got.Cloud.Len() != ref.Cloud.Len() {
+			t.Fatalf("workers=%d: %d points, want %d", workers, got.Cloud.Len(), ref.Cloud.Len())
+		}
+		for i := 0; i < ref.Cloud.Len(); i++ {
+			if got.Cloud.At(i) != ref.Cloud.At(i) {
+				t.Fatalf("workers=%d: point %d = %+v, want %+v", workers, i, got.Cloud.At(i), ref.Cloud.At(i))
+			}
+		}
+		if len(got.HitsPerObject) != len(ref.HitsPerObject) {
+			t.Fatalf("workers=%d: hit map size %d, want %d", workers, len(got.HitsPerObject), len(ref.HitsPerObject))
+		}
+		for id, n := range ref.HitsPerObject {
+			if got.HitsPerObject[id] != n {
+				t.Fatalf("workers=%d: object %d hits %d, want %d", workers, id, got.HitsPerObject[id], n)
+			}
+		}
+	}
+}

@@ -1,0 +1,117 @@
+// Package parallel provides the bounded fan-out/fan-in primitives the
+// Cooper evaluation engine uses to spread independent work — pose
+// sensing, cooperative cases, figure generators, ray casting, detector
+// stages — across CPU cores while keeping outputs deterministic.
+//
+// Every primitive is ordered: work item i writes only slot i of its
+// result slice, so results are positionally identical to a sequential
+// loop no matter how goroutines interleave. Callers keep determinism by
+// making each item's computation independent (own RNG, no shared mutable
+// state); the package then guarantees the fan-in order.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers is the worker count used when a caller passes 0 or a
+// negative value: one worker per available CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Normalize clamps a worker-count knob: values < 1 become
+// DefaultWorkers(), everything else is returned unchanged.
+func Normalize(workers int) int {
+	if workers < 1 {
+		return DefaultWorkers()
+	}
+	return workers
+}
+
+// For runs fn(i) for every i in [0, n) on at most workers goroutines.
+// Items are claimed dynamically (work stealing via a shared counter), so
+// uneven item costs still balance. workers <= 1 (after normalising 0 and
+// negatives to DefaultWorkers) runs the loop inline with no goroutines —
+// the sequential path is literally a for loop.
+func For(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Normalize(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForErr is For with error-returning work. Every item runs (there is no
+// early cancellation, so side effects match the no-error case) and the
+// error of the lowest-indexed failing item is returned — the same error
+// a sequential loop would have hit first, keeping failure reporting
+// deterministic.
+func ForErr(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	For(workers, n, func(i int) {
+		errs[i] = fn(i)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Map applies fn to every index in [0, n) and returns the results in
+// index order: out[i] = fn(i). The ordered fan-in makes a parallel map
+// positionally indistinguishable from the sequential loop.
+func Map[T any](workers, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	For(workers, n, func(i int) {
+		out[i] = fn(i)
+	})
+	return out
+}
+
+// MapErr is Map with error-returning work; on error it returns nil
+// results and the lowest-indexed item's error.
+func MapErr[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForErr(workers, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -50,6 +50,10 @@ type Config struct {
 	ScoreThreshold float64
 	// NMSIoU is the BEV IoU above which overlapping detections merge.
 	NMSIoU float64
+	// Workers bounds the goroutines used inside the pipeline's
+	// parallelizable stages (spherical projection, voxel feature build);
+	// < 1 selects one per CPU. Detections are identical at any count.
+	Workers int
 }
 
 // DefaultConfig returns the configuration used throughout the evaluation.
@@ -135,7 +139,9 @@ func (d *Detector) DetectWithStats(cloud *pointcloud.Cloud) ([]Detection, Stats)
 	t0 := time.Now()
 	work := cloud
 	if d.cfg.UseSpherical {
-		work = ProjectSpherical(cloud, d.cfg.Spherical).ToCloud()
+		sph := d.cfg.Spherical
+		sph.Workers = d.cfg.Workers
+		work = ProjectSpherical(cloud, sph).ToCloud()
 	} else if d.cfg.DedupVoxel > 0 {
 		work = cloud.VoxelDownsample(d.cfg.DedupVoxel)
 	}
@@ -147,7 +153,7 @@ func (d *Detector) DetectWithStats(cloud *pointcloud.Cloud) ([]Detection, Stats)
 
 	// Stage 2 — voxel feature encoding.
 	t0 = time.Now()
-	grid := Voxelize(nonGround, d.cfg.VoxelSizeXY, d.cfg.VoxelSizeZ, groundZ)
+	grid := VoxelizeWorkers(nonGround, d.cfg.VoxelSizeXY, d.cfg.VoxelSizeZ, groundZ, d.cfg.Workers)
 	st.VoxelCount = grid.OccupiedVoxels()
 	st.VoxelTime = time.Since(t0)
 

@@ -21,6 +21,7 @@ import (
 	"math"
 
 	"cooper/internal/geom"
+	"cooper/internal/parallel"
 	"cooper/internal/pointcloud"
 )
 
@@ -56,6 +57,11 @@ type SphericalConfig struct {
 	InpaintGaps bool
 	// EchoGap is the minimum range separation for a second echo, metres.
 	EchoGap float64
+	// Workers bounds the goroutines used for the per-point projection
+	// math; < 1 selects one per CPU. Output is identical at any count:
+	// cell binning runs in parallel, echo insertion stays sequential in
+	// point order (insertion is order-sensitive).
+	Workers int
 }
 
 // DefaultSphericalConfig covers both HDL-64E and VLP-16 elevation ranges
@@ -84,33 +90,77 @@ func ProjectSpherical(c *pointcloud.Cloud, cfg SphericalConfig) *RangeImage {
 		elStep: (cfg.MaxEl - cfg.MinEl) / float64(cfg.Rows),
 		azStep: 2 * math.Pi / float64(cfg.Cols),
 	}
-	for i := 0; i < c.Len(); i++ {
-		p := c.At(i)
-		r := p.Range()
-		if r == 0 {
-			continue
+	if parallel.Normalize(cfg.Workers) == 1 {
+		// Single-worker fast path: fused bin-and-insert with no staging
+		// buffer. The two-phase path below builds an identical image (see
+		// TestProjectSphericalWorkersIdentical).
+		for i := 0; i < c.Len(); i++ {
+			if e, idx, ok := img.bin(c.At(i), cfg); ok {
+				img.insert(idx, e, cfg.EchoGap)
+			}
 		}
-		el := math.Asin(geom.Clamp(p.Z/r, -1, 1))
-		az := math.Atan2(p.Y, p.X)
-		row := int((el - cfg.MinEl) / img.elStep)
-		if row < 0 || row >= cfg.Rows {
-			continue
+	} else {
+		// Phase 1 — the per-point trigonometry (range, elevation, azimuth,
+		// cell binning) is pure, so it fans out across point chunks; slot i
+		// holds point i's binned echo.
+		binned := make([]struct {
+			e   echo
+			idx int32
+		}, c.Len())
+		const chunk = 4096
+		nChunks := (c.Len() + chunk - 1) / chunk
+		parallel.For(cfg.Workers, nChunks, func(ci int) {
+			lo, hi := ci*chunk, (ci+1)*chunk
+			if hi > c.Len() {
+				hi = c.Len()
+			}
+			for i := lo; i < hi; i++ {
+				e, idx, ok := img.bin(c.At(i), cfg)
+				if ok {
+					binned[i].e, binned[i].idx = e, int32(idx)
+				} else {
+					binned[i].idx = -1
+				}
+			}
+		})
+
+		// Phase 2 — echo insertion keeps near/far echoes whose selection
+		// depends on arrival order, so it replays sequentially in point
+		// order; the image is therefore byte-identical at any worker count.
+		for i := range binned {
+			if binned[i].idx >= 0 {
+				img.insert(int(binned[i].idx), binned[i].e, cfg.EchoGap)
+			}
 		}
-		col := int((az + math.Pi) / img.azStep)
-		if col < 0 {
-			col = 0
-		}
-		if col >= cfg.Cols {
-			col = cfg.Cols - 1
-		}
-		idx := row*cfg.Cols + col
-		e := echo{rng: r, elevation: el, azimuth: az, intensity: p.Reflectance, valid: true}
-		img.insert(idx, e, cfg.EchoGap)
 	}
 	if cfg.InpaintGaps {
 		img.inpaint()
 	}
 	return img
+}
+
+// bin computes a point's range-image cell and echo — the pure per-point
+// work both projection paths share.
+func (img *RangeImage) bin(p pointcloud.Point, cfg SphericalConfig) (echo, int, bool) {
+	r := p.Range()
+	if r == 0 {
+		return echo{}, 0, false
+	}
+	el := math.Asin(geom.Clamp(p.Z/r, -1, 1))
+	az := math.Atan2(p.Y, p.X)
+	row := int((el - cfg.MinEl) / img.elStep)
+	if row < 0 || row >= cfg.Rows {
+		return echo{}, 0, false
+	}
+	col := int((az + math.Pi) / img.azStep)
+	if col < 0 {
+		col = 0
+	}
+	if col >= cfg.Cols {
+		col = cfg.Cols - 1
+	}
+	e := echo{rng: r, elevation: el, azimuth: az, intensity: p.Reflectance, valid: true}
+	return e, row*cfg.Cols + col, true
 }
 
 // insert places an echo in a cell, keeping the nearest return as primary

@@ -3,6 +3,7 @@ package spod
 import (
 	"math"
 
+	"cooper/internal/parallel"
 	"cooper/internal/pointcloud"
 )
 
@@ -39,12 +40,45 @@ type VoxelGrid struct {
 // Voxelize encodes a cloud into the sparse voxel grid. Points are assumed
 // ground-removed; groundZ anchors the height features.
 func Voxelize(c *pointcloud.Cloud, sizeXY, sizeZ, groundZ float64) *VoxelGrid {
+	return VoxelizeWorkers(c, sizeXY, sizeZ, groundZ, 1)
+}
+
+// VoxelizeWorkers is Voxelize with the per-point voxel-key computation
+// fanned out over at most workers goroutines (< 1 selects one per CPU).
+// The feature accumulation itself stays sequential in point order —
+// floating-point sums are order-sensitive — so the grid is identical at
+// any worker count.
+func VoxelizeWorkers(c *pointcloud.Cloud, sizeXY, sizeZ, groundZ float64, workers int) *VoxelGrid {
 	g := &VoxelGrid{
 		SizeXY:  sizeXY,
 		SizeZ:   sizeZ,
 		GroundZ: groundZ,
 		Cells:   make(map[pointcloud.VoxelKey]*VoxelFeature, c.Len()/4+1),
 		Points:  make(map[pointcloud.VoxelKey][]int, c.Len()/8+1),
+	}
+	voxelKey := func(p pointcloud.Point) pointcloud.VoxelKey {
+		return pointcloud.VoxelKey{
+			X: int32(math.Floor(p.X / sizeXY)),
+			Y: int32(math.Floor(p.Y / sizeXY)),
+			Z: int32(math.Floor((p.Z - groundZ) / sizeZ)),
+		}
+	}
+	// Single-worker fast path skips the staging buffer and computes keys
+	// inline; the grids are identical (see TestVoxelizeWorkersIdentical).
+	var keys []pointcloud.VoxelKey
+	if parallel.Normalize(workers) > 1 {
+		keys = make([]pointcloud.VoxelKey, c.Len())
+		const chunk = 8192
+		nChunks := (c.Len() + chunk - 1) / chunk
+		parallel.For(workers, nChunks, func(ci int) {
+			lo, hi := ci*chunk, (ci+1)*chunk
+			if hi > c.Len() {
+				hi = c.Len()
+			}
+			for i := lo; i < hi; i++ {
+				keys[i] = voxelKey(c.At(i))
+			}
+		})
 	}
 	type acc struct {
 		sumZ, minZ, maxZ, sumI float64
@@ -53,10 +87,11 @@ func Voxelize(c *pointcloud.Cloud, sizeXY, sizeZ, groundZ float64) *VoxelGrid {
 	accs := make(map[pointcloud.VoxelKey]*acc, c.Len()/4+1)
 	for i := 0; i < c.Len(); i++ {
 		p := c.At(i)
-		k := pointcloud.VoxelKey{
-			X: int32(math.Floor(p.X / sizeXY)),
-			Y: int32(math.Floor(p.Y / sizeXY)),
-			Z: int32(math.Floor((p.Z - groundZ) / sizeZ)),
+		var k pointcloud.VoxelKey
+		if keys != nil {
+			k = keys[i]
+		} else {
+			k = voxelKey(p)
 		}
 		a, ok := accs[k]
 		if !ok {

@@ -1,0 +1,76 @@
+package spod
+
+import (
+	"reflect"
+	"testing"
+
+	"cooper/internal/pointcloud"
+)
+
+// noisyCloud builds a deterministic pseudo-random cloud large enough to
+// span several parallel chunks.
+func noisyCloud(n int) *pointcloud.Cloud {
+	c := pointcloud.New(n)
+	state := uint64(1)
+	next := func() float64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return float64(state>>11) / float64(1<<53)
+	}
+	for i := 0; i < n; i++ {
+		c.AppendXYZR(next()*80-40, next()*80-40, next()*3, next())
+	}
+	return c
+}
+
+// TestProjectSphericalWorkersIdentical checks that the parallel binning
+// phase leaves the order-sensitive echo insertion untouched: range images
+// are identical at every worker count.
+func TestProjectSphericalWorkersIdentical(t *testing.T) {
+	cloud := noisyCloud(20000)
+	cfg := DefaultSphericalConfig()
+	cfg.Workers = 1
+	ref := ProjectSpherical(cloud, cfg)
+	for _, workers := range []int{0, 3, 16} {
+		cfg.Workers = workers
+		got := ProjectSpherical(cloud, cfg)
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("workers=%d: range image differs from sequential", workers)
+		}
+	}
+}
+
+// TestVoxelizeWorkersIdentical checks the voxel feature build: key
+// computation parallelizes, accumulation stays in point order, so grids
+// are identical at every worker count.
+func TestVoxelizeWorkersIdentical(t *testing.T) {
+	cloud := noisyCloud(30000)
+	ref := VoxelizeWorkers(cloud, 0.2, 0.25, 0, 1)
+	for _, workers := range []int{0, 5} {
+		got := VoxelizeWorkers(cloud, 0.2, 0.25, 0, workers)
+		if !reflect.DeepEqual(got.Cells, ref.Cells) {
+			t.Fatalf("workers=%d: voxel features differ from sequential", workers)
+		}
+		if !reflect.DeepEqual(got.Points, ref.Points) {
+			t.Fatalf("workers=%d: per-column point lists differ from sequential", workers)
+		}
+	}
+	if !reflect.DeepEqual(Voxelize(cloud, 0.2, 0.25, 0), ref) {
+		t.Fatal("Voxelize and VoxelizeWorkers(…, 1) disagree")
+	}
+}
+
+// TestDetectorWorkersIdentical runs the full pipeline at several worker
+// counts and requires identical detections.
+func TestDetectorWorkersIdentical(t *testing.T) {
+	cloud := noisyCloud(15000)
+	cfg := DefaultConfig()
+	cfg.Workers = 1
+	ref := New(cfg).Detect(cloud)
+	for _, workers := range []int{0, 4} {
+		cfg.Workers = workers
+		got := New(cfg).Detect(cloud)
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("workers=%d: detections differ from sequential", workers)
+		}
+	}
+}
