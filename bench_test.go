@@ -96,6 +96,41 @@ func BenchmarkFig11ROICategories(b *testing.B)    { benchFigure(b, 11) }
 func BenchmarkFig12DataVolume(b *testing.B)       { benchFigure(b, 12) }
 func BenchmarkFig13CodecFeasibility(b *testing.B) { benchFigure(b, 13) }
 
+// --- Fleet-scale N-way fusion (generated scenarios) ---
+//
+// The Fleet benchmarks are the perf-trajectory numbers for the fleet
+// pipeline: generating a procedural world, sensing N poses, fusing K
+// transmitted clouds into one receiver frame and evaluating the case.
+// CI's bench-smoke step runs these once and records BENCH_fleet.json.
+
+func benchFleet(b *testing.B, fam cooper.ScenarioFamily, fleet int) {
+	b.Helper()
+	sc, err := cooper.GenerateScenario(cooper.GenParams{Family: fam, Fleet: fleet, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runner := cooper.NewScenarioRunner(sc)
+		if _, err := runner.RunAll(cooper.RunOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFleetHighway2(b *testing.B) { benchFleet(b, "highway", 2) }
+func BenchmarkFleetHighway6(b *testing.B) { benchFleet(b, "highway", 6) }
+func BenchmarkFleetPlatoon8(b *testing.B) { benchFleet(b, "platoon", 8) }
+func BenchmarkFleetParking8(b *testing.B) { benchFleet(b, "parking", 8) }
+func BenchmarkFleetSweepFigure(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		suite := experiments.NewSuite()
+		if err := experiments.Run(suite, 14, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- Fig. 9 isolation: the detector alone on single vs merged clouds ---
 
 func scanPair(sc *scene.Scenario) (*pointcloud.Cloud, *pointcloud.Cloud) {

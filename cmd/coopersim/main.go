@@ -1,19 +1,29 @@
-// Command coopersim runs one of the paper's scenarios end to end and
-// prints a human-readable single-shot vs Cooper report.
+// Command coopersim runs one of the paper's scenarios — or a generated
+// fleet scenario — end to end and prints a single-shot vs Cooper report
+// with detection precision/recall and the DSRC cost of the exchange.
 //
 //	coopersim -list
 //	coopersim -scenario "T-junction"
 //	coopersim -scenario "TJ-Scenario 2" -drift 2x -icp
+//	coopersim -scenario highway -fleet 6 -seed 1
+//
+// Generated scenarios (-scenario highway|intersection|roundabout|
+// parking|platoon) synthesize a world with -fleet cooperating vehicles
+// from -seed; pose v1 fuses every other vehicle's transmitted cloud in
+// one N-way case. Output is deterministic for a given seed at any
+// -workers value; wall-clock stage times are printed only with -times.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"cooper/internal/core"
 	"cooper/internal/eval"
 	"cooper/internal/fusion"
+	"cooper/internal/network"
 	"cooper/internal/scene"
 )
 
@@ -24,32 +34,47 @@ func main() {
 	}
 }
 
+// resolve finds the paper scenario or generates the named family.
+func resolve(name string, fleet int, seed int64, traffic int) (*scene.Scenario, error) {
+	if fam, ok := scene.ParseFamily(name); ok {
+		return scene.Generate(scene.GenParams{Family: fam, Fleet: fleet, Seed: seed, Traffic: traffic})
+	}
+	for _, sc := range scene.AllScenarios() {
+		if sc.Name == name {
+			return sc, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown scenario %q (use -list)", name)
+}
+
 func run() error {
-	name := flag.String("scenario", "T-junction", "scenario name (see -list)")
-	list := flag.Bool("list", false, "list scenarios")
+	name := flag.String("scenario", "T-junction", "scenario name or generated family (see -list)")
+	list := flag.Bool("list", false, "list scenarios and generated families")
+	fleet := flag.Int("fleet", 4, "fleet size for generated families")
+	seed := flag.Int64("seed", 1, "generation + sensing seed for generated families")
+	traffic := flag.Int("traffic", 0, "ambient car count for generated families (0 = family default)")
 	drift := flag.String("drift", "", "GPS drift mode: xy, one-axis, 2x")
 	icp := flag.Bool("icp", false, "refine alignment with ICP")
+	times := flag.Bool("times", false, "print wall-clock detection times (non-deterministic)")
 	workers := flag.Int("workers", 0, "max goroutines for case evaluation (0 = one per CPU, 1 = sequential)")
 	flag.Parse()
 
-	scenarios := scene.AllScenarios()
 	if *list {
-		for _, sc := range scenarios {
+		for _, sc := range scene.AllScenarios() {
 			fmt.Printf("%-16s %-6s %d poses, %d cases, %d cars\n",
 				sc.Name, sc.Dataset, len(sc.Poses), len(sc.Cases), len(sc.Scene.Cars()))
 		}
+		fmt.Printf("generated families (use with -fleet N -seed S):")
+		for _, f := range scene.Families() {
+			fmt.Printf(" %s", f)
+		}
+		fmt.Println()
 		return nil
 	}
 
-	var target *scene.Scenario
-	for _, sc := range scenarios {
-		if sc.Name == *name {
-			target = sc
-			break
-		}
-	}
-	if target == nil {
-		return fmt.Errorf("unknown scenario %q (use -list)", *name)
+	target, err := resolve(*name, *fleet, *seed, *traffic)
+	if err != nil {
+		return err
 	}
 
 	opts := core.RunOptions{UseICP: *icp, DriftSeed: 7}
@@ -71,27 +96,55 @@ func run() error {
 		return err
 	}
 
-	fmt.Printf("%s (%s, %d-beam LiDAR, %d ground-truth cars)\n",
-		target.Name, target.Dataset, target.LiDAR.BeamCount(), len(target.Scene.Cars()))
+	fmt.Printf("%s (%s, %d-beam LiDAR, %d poses, %d ground-truth cars)\n",
+		target.Name, target.Dataset, target.LiDAR.BeamCount(), len(target.Poses), len(target.Scene.Cars()))
 	if opts.Drift != 0 {
 		fmt.Printf("GPS drift mode: %v, ICP refinement: %v\n", opts.Drift, *icp)
 	}
+	if len(outcomes) == 0 {
+		fmt.Println("no cooperative cases (single-vehicle fleet): nothing exchanged, zero channel load")
+		return nil
+	}
+	sched := network.DefaultScheduler()
 	for _, o := range outcomes {
-		labelI := target.PoseLabels[o.Case.I]
-		labelJ := target.PoseLabels[o.Case.J]
-		fmt.Printf("\ncase %s (Δd = %.1f m, payload %d KB)\n", o.Case.Name, o.DeltaD, o.PayloadBytes/1024)
-		fmt.Printf("  %-6s %-7s %-7s %-7s %s\n", "car", labelI, labelJ, "Cooper", "band")
-		for _, row := range o.Rows {
-			fmt.Printf("  %-6d %-7s %-7s %-7s %s\n", row.CarID, row.I, row.J, row.Coop, row.Band)
-		}
-		ci, cj, cc := cells(o, 0), cells(o, 1), cells(o, 2)
-		fmt.Printf("  detected: %s=%d  %s=%d  Cooper=%d   accuracy: %.0f%% / %.0f%% / %.0f%%\n",
-			labelI, eval.CountDetected(ci), labelJ, eval.CountDetected(cj), eval.CountDetected(cc),
-			eval.Accuracy(ci), eval.Accuracy(cj), eval.Accuracy(cc))
+		printCase(target, o, sched, *times)
+	}
+	return nil
+}
+
+func printCase(target *scene.Scenario, o *core.CaseOutcome, sched network.Scheduler, times bool) {
+	labelI := target.PoseLabels[o.Case.I]
+	labelJ := target.PoseLabels[o.Case.J]
+	senders := o.Case.Senders()
+	senderLabels := make([]string, len(senders))
+	for k, s := range senders {
+		senderLabels[k] = target.PoseLabels[s]
+	}
+
+	fmt.Printf("\ncase %s (receiver %s fuses %d cloud(s) from %s, Δd = %.1f m)\n",
+		o.Case.Name, labelI, len(senders), strings.Join(senderLabels, "+"), o.DeltaD)
+	fmt.Printf("  %-6s %-7s %-7s %-7s %s\n", "car", labelI, labelJ, "Cooper", "band")
+	for _, row := range o.Rows {
+		fmt.Printf("  %-6d %-7s %-7s %-7s %s\n", row.CarID, row.I, row.J, row.Coop, row.Band)
+	}
+
+	ci, cj, cc := cells(o, 0), cells(o, 1), cells(o, 2)
+	fmt.Printf("  detected: %s=%d  %s=%d  Cooper=%d   accuracy: %.0f%% / %.0f%% / %.0f%%\n",
+		labelI, eval.CountDetected(ci), labelJ, eval.CountDetected(cj), eval.CountDetected(cc),
+		eval.Accuracy(ci), eval.Accuracy(cj), eval.Accuracy(cc))
+	fmt.Printf("  precision: %s=%.0f%%  Cooper=%.0f%%   recall: %s=%.0f%%  Cooper=%.0f%%\n",
+		labelI, 100*eval.Precision(eval.CountDetected(ci), o.FPI),
+		100*eval.Precision(eval.CountDetected(cc), o.FPCoop),
+		labelI, 100*eval.Recall(ci), 100*eval.Recall(cc))
+
+	plan := sched.Plan(o.SenderPayloads)
+	fmt.Printf("  DSRC: payload %d KB over %d frame(s), round latency %v, volume %.2f Mbit, load %.2f Mbit/s (util %.0f%%, fits: %v)\n",
+		o.PayloadBytes/1024, plan.Senders(), plan.Completion().Round(1e5),
+		float64(o.PayloadBytes)*8/1e6, plan.MbitPerSecond(), 100*plan.Utilization(), plan.Fits())
+	if times {
 		fmt.Printf("  detection time: %v / %v / %v\n",
 			o.StatsI.Total.Round(1e6), o.StatsJ.Total.Round(1e6), o.StatsCoop.Total.Round(1e6))
 	}
-	return nil
 }
 
 func cells(o *core.CaseOutcome, col int) []eval.Cell {

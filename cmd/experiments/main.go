@@ -1,16 +1,22 @@
-// Command experiments regenerates the paper's evaluation figures.
+// Command experiments regenerates the paper's evaluation figures plus
+// the fleet-scale sweep that goes beyond the paper.
 //
-//	experiments -fig 3      # one figure
-//	experiments -all        # every figure, in order
-//	experiments -list       # available figures
+//	experiments -fig 3                       # one figure
+//	experiments -all                         # every figure, in order
+//	experiments -list                        # available figures
+//	experiments -fleet 2,4,6,8               # fleet sweep, all families
+//	experiments -fleet 3,5 -scenario highway,platoon -seed 2
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"cooper/internal/experiments"
+	"cooper/internal/scene"
 )
 
 func main() {
@@ -20,20 +26,70 @@ func main() {
 	}
 }
 
+// parseFleets parses a comma-separated fleet-size list.
+func parseFleets(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad fleet size %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// parseFamilies parses a comma-separated family list; "" or "all" means
+// every family.
+func parseFamilies(s string) ([]scene.Family, error) {
+	if s == "" || s == "all" {
+		return scene.Families(), nil
+	}
+	var out []scene.Family
+	for _, part := range strings.Split(s, ",") {
+		f, ok := scene.ParseFamily(strings.TrimSpace(part))
+		if !ok {
+			return nil, fmt.Errorf("unknown scenario family %q (families: %v)", part, scene.Families())
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
 func run() error {
-	fig := flag.Int("fig", 0, "figure number to regenerate (2-13)")
+	fig := flag.Int("fig", 0, "figure number to regenerate (2-14)")
 	all := flag.Bool("all", false, "regenerate every figure")
 	list := flag.Bool("list", false, "list available figures")
+	fleets := flag.String("fleet", "", "fleet sweep: comma-separated fleet sizes (e.g. 2,4,6,8)")
+	families := flag.String("scenario", "", "fleet sweep: comma-separated generated families (default all)")
+	seed := flag.Int64("seed", 1, "fleet sweep: generation + sensing seed")
+	traffic := flag.Int("traffic", 0, "fleet sweep: ambient car count (0 = family default)")
 	workers := flag.Int("workers", 0, "max goroutines for the evaluation engine (0 = one per CPU, 1 = sequential)")
 	flag.Parse()
 
 	if *list {
 		fmt.Println("available figures:", experiments.Figures())
+		fmt.Println("generated families:", scene.Families())
 		return nil
 	}
 
 	suite := experiments.NewSuite().SetWorkers(*workers)
 	switch {
+	case *fleets != "":
+		sizes, err := parseFleets(*fleets)
+		if err != nil {
+			return err
+		}
+		fams, err := parseFamilies(*families)
+		if err != nil {
+			return err
+		}
+		cfg := experiments.DefaultFleetSweep()
+		cfg.Fleets = sizes
+		cfg.Families = fams
+		cfg.Seed = *seed
+		cfg.Traffic = *traffic
+		return experiments.FleetSweep(suite, os.Stdout, cfg)
 	case *all:
 		// Figure generators run concurrently; reports are emitted in
 		// figure order and are identical to a sequential loop.
@@ -42,6 +98,6 @@ func run() error {
 		return experiments.Run(suite, *fig, os.Stdout)
 	default:
 		flag.Usage()
-		return fmt.Errorf("specify -fig N, -all or -list")
+		return fmt.Errorf("specify -fig N, -all, -fleet SIZES or -list")
 	}
 }

@@ -130,6 +130,23 @@ func TJScenarios() []*Scenario { return scene.TJScenarios() }
 // AllScenarios returns the full 19-case evaluation suite.
 func AllScenarios() []*Scenario { return scene.AllScenarios() }
 
+// Procedural fleet-scenario generation.
+type (
+	// ScenarioFamily names a generated scenario family (highway,
+	// intersection, roundabout, parking, platoon).
+	ScenarioFamily = scene.Family
+	// GenParams parameterizes procedural scenario generation.
+	GenParams = scene.GenParams
+)
+
+// ScenarioFamilies returns every generated scenario family.
+func ScenarioFamilies() []ScenarioFamily { return scene.Families() }
+
+// GenerateScenario synthesizes a deterministic N-vehicle fleet scenario:
+// same params, byte-identical world. Fleet ≥ 2 wires one N-way case in
+// which pose 0 fuses every other vehicle's transmitted cloud.
+func GenerateScenario(p GenParams) (*Scenario, error) { return scene.Generate(p) }
+
 // NewScenarioRunner prepares a scenario for case-by-case evaluation.
 func NewScenarioRunner(sc *Scenario) *core.ScenarioRunner {
 	return core.NewScenarioRunner(sc)

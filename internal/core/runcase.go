@@ -50,8 +50,14 @@ type CaseOutcome struct {
 	StatsI, StatsJ, StatsCoop spod.Stats
 	// FPI, FPJ, FPCoop count unmatched detections per column.
 	FPI, FPJ, FPCoop int
-	// PayloadBytes is the wire size of the exchanged (quantized) cloud.
+	// PayloadBytes is the total wire size of the exchanged (quantized)
+	// clouds — the sum over every sender of the case.
 	PayloadBytes int
+	// SenderPayloads holds each sender's wire size and SenderCloudPoints
+	// each sender's transmitted point count, in Case.Senders() order (a
+	// single entry for the paper's pairwise cases).
+	SenderPayloads    []int
+	SenderCloudPoints []int
 	// CloudPointsI/J/Coop are the detector input sizes.
 	CloudPointsI, CloudPointsJ, CloudPointsCoop int
 }
@@ -149,7 +155,10 @@ func (r *ScenarioRunner) cloudFor(i int) *pointcloud.Cloud {
 func (r *ScenarioRunner) PreSense() {
 	used := make([]bool, len(r.vehicles))
 	for _, c := range r.sc.Cases {
-		used[c.I], used[c.J] = true, true
+		used[c.I] = true
+		for _, s := range c.Senders() {
+			used[s] = true
+		}
 	}
 	var poses []int
 	for i, u := range used {
@@ -207,11 +216,14 @@ func columnCells(truthBoxes []geom.Box, inArea []bool, dets []spod.Detection) ([
 	return cells, len(fps)
 }
 
-// RunCase executes one cooperative case: two single shots and the merged
-// Cooper pass, with the paper's cell bookkeeping.
+// RunCase executes one cooperative case: the receiver's and primary
+// sender's single shots plus the merged Cooper pass fusing every
+// sender's transmitted cloud (K clouds for an N-way fleet case), with
+// the paper's cell bookkeeping.
 func (r *ScenarioRunner) RunCase(c scene.CoopCase, opts RunOptions) (*CaseOutcome, error) {
 	sc := r.sc
 	vi, vj := r.vehicles[c.I], r.vehicles[c.J]
+	senders := c.Senders()
 	cloudI := r.cloudFor(c.I)
 	cloudJ := r.cloudFor(c.J)
 
@@ -226,7 +238,8 @@ func (r *ScenarioRunner) RunCase(c scene.CoopCase, opts RunOptions) (*CaseOutcom
 	out.DetsI, out.StatsI = vi.DetectOn(cloudI)
 	out.DetsJ, out.StatsJ = vj.DetectOn(cloudJ)
 
-	// Exchange: j transmits its (optionally ROI-filtered) cloud to i.
+	// Exchange: every sender transmits its (optionally ROI-filtered)
+	// cloud to the receiver i.
 	filter := opts.Filter
 	if sc.FrontFOV > 0 {
 		fov := sc.FrontFOV
@@ -239,25 +252,37 @@ func (r *ScenarioRunner) RunCase(c scene.CoopCase, opts RunOptions) (*CaseOutcom
 			return cl
 		}
 	}
-	pkg, err := vj.PreparePackage(filter)
-	if err != nil {
-		return nil, fmt.Errorf("case %s: %w", c.Name, err)
-	}
-	out.PayloadBytes = pkg.PayloadBytes()
+	var driftRNG *rand.Rand
 	if opts.Drift != 0 && opts.Drift != fusion.DriftNone {
-		rng := rand.New(rand.NewSource(opts.DriftSeed))
-		pkg.State = fusion.ApplyDrift(pkg.State, opts.Drift, rng)
+		// One stream, consumed in sender order, keeps drift deterministic
+		// at any worker count and identical to the old pairwise draw.
+		driftRNG = rand.New(rand.NewSource(opts.DriftSeed))
 	}
-
-	aligned, err := vi.ReceivePackage(pkg)
-	if err != nil {
-		return nil, fmt.Errorf("case %s: %w", c.Name, err)
+	aligned := make([]*pointcloud.Cloud, 0, len(senders))
+	for _, sIdx := range senders {
+		vs := r.vehicles[sIdx]
+		r.cloudFor(sIdx) // ensure the sender has sensed
+		pkg, err := vs.PreparePackage(filter)
+		if err != nil {
+			return nil, fmt.Errorf("case %s: %w", c.Name, err)
+		}
+		out.SenderPayloads = append(out.SenderPayloads, pkg.PayloadBytes())
+		out.SenderCloudPoints = append(out.SenderCloudPoints, pointcloud.QuantizedPointsFor(pkg.PayloadBytes()))
+		out.PayloadBytes += pkg.PayloadBytes()
+		if driftRNG != nil {
+			pkg.State = fusion.ApplyDrift(pkg.State, opts.Drift, driftRNG)
+		}
+		al, err := vi.ReceivePackage(pkg)
+		if err != nil {
+			return nil, fmt.Errorf("case %s: %w", c.Name, err)
+		}
+		if opts.UseICP {
+			corr := fusion.RefineAlignment(cloudI, al, fusion.DefaultICPConfig())
+			al = al.Transform(corr)
+		}
+		aligned = append(aligned, al)
 	}
-	if opts.UseICP {
-		corr := fusion.RefineAlignment(cloudI, aligned, fusion.DefaultICPConfig())
-		aligned = aligned.Transform(corr)
-	}
-	merged := fusion.Merge(cloudI, aligned)
+	merged := fusion.Merge(cloudI, aligned...)
 	out.CloudPointsCoop = merged.Len()
 
 	// Cooperative pass: same pipeline with merged-cloud preprocessing and
@@ -279,7 +304,15 @@ func (r *ScenarioRunner) RunCase(c scene.CoopCase, opts RunOptions) (*CaseOutcom
 		truthJ[k] = car.Box.Transformed(trJ)
 		inI[k] = r.inArea(car, c.I)
 		inJ[k] = r.inArea(car, c.J)
+		// The cooperative detection area is the union of every
+		// participant's area — receiver plus all K senders.
 		inCoop[k] = inI[k] || inJ[k]
+		for _, sIdx := range c.Extra {
+			if inCoop[k] {
+				break
+			}
+			inCoop[k] = r.inArea(car, sIdx)
+		}
 	}
 
 	cellsI, fpI := columnCells(truthI, inI, out.DetsI)

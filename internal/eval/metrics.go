@@ -25,6 +25,22 @@ func Accuracy(cells []Cell) float64 {
 	return 100 * float64(detected) / float64(total)
 }
 
+// Recall returns the detected fraction of in-area objects, in [0, 1]:
+// TP / (TP + FN). This is Accuracy's quantity as a fraction — both
+// exclude out-of-area cells, and an empty in-area set yields 0.
+func Recall(cells []Cell) float64 {
+	return Accuracy(cells) / 100
+}
+
+// Precision returns TP / (TP + FP), in [0, 1]. With no detections at
+// all it yields 0.
+func Precision(truePositives, falsePositives int) float64 {
+	if truePositives+falsePositives == 0 {
+		return 0
+	}
+	return float64(truePositives) / float64(truePositives+falsePositives)
+}
+
 // CountDetected returns the number of detected cells — the bar heights of
 // Figs. 4 and 7.
 func CountDetected(cells []Cell) int {

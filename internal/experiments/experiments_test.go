@@ -8,11 +8,12 @@ import (
 	"testing"
 
 	"cooper/internal/eval"
+	"cooper/internal/scene"
 )
 
 func TestRegistryComplete(t *testing.T) {
 	figs := Figures()
-	want := []int{2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13}
+	want := []int{2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14}
 	if len(figs) != len(want) {
 		t.Fatalf("figures = %v", figs)
 	}
@@ -43,6 +44,22 @@ func TestSuiteCachesOutcomes(t *testing.T) {
 	}
 	if len(a) == 0 || &a[0] != &b[0] {
 		t.Error("outcomes not cached")
+	}
+}
+
+// TestFleetSweepSingleVehicle: a fleet of one has no cooperative case;
+// the sweep must report a zero-load row, not panic on a missing outcome.
+func TestFleetSweepSingleVehicle(t *testing.T) {
+	s := NewSuite()
+	var buf bytes.Buffer
+	cfg := DefaultFleetSweep()
+	cfg.Families = []scene.Family{scene.FamilyPlatoon}
+	cfg.Fleets = []int{1}
+	if err := FleetSweep(s, &buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "platoon") {
+		t.Errorf("missing single-vehicle row:\n%s", buf.String())
 	}
 }
 

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the experiments golden files")
+
+// goldenFigures lists the figures whose reports are fully deterministic
+// — seeded sensing, modeled (not wall-clock) latencies — and therefore
+// golden-able byte for byte. Figs. 9 and 13 are excluded: their cores
+// are wall-clock measurements that legitimately vary run to run.
+var goldenFigures = []int{2, 3, 4, 5, 6, 7, 8, 10, 11, 12, 14}
+
+func goldenPath(fig int) string {
+	return filepath.Join("testdata", fmt.Sprintf("fig%02d.golden", fig))
+}
+
+// TestFigureGoldens locks every deterministic figure report byte for
+// byte against testdata/. A legitimate report change is re-blessed with
+//
+//	go test ./internal/experiments -run TestFigureGoldens -update
+func TestFigureGoldens(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure suite")
+	}
+	s := NewSuite()
+	for _, fig := range goldenFigures {
+		t.Run(fmt.Sprintf("fig%02d", fig), func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := Run(s, fig, &buf); err != nil {
+				t.Fatal(err)
+			}
+			path := goldenPath(fig)
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (bless with -update): %v", err)
+			}
+			if !bytes.Equal(want, buf.Bytes()) {
+				t.Errorf("figure %d report drifted from golden:\n%s", fig, firstDiff(string(want), buf.String()))
+			}
+		})
+	}
+}
+
+// firstDiff renders the first differing line pair for a readable
+// failure message.
+func firstDiff(want, got string) string {
+	w := strings.Split(want, "\n")
+	g := strings.Split(got, "\n")
+	n := len(w)
+	if len(g) > n {
+		n = len(g)
+	}
+	for i := 0; i < n; i++ {
+		var lw, lg string
+		if i < len(w) {
+			lw = w[i]
+		}
+		if i < len(g) {
+			lg = g[i]
+		}
+		if lw != lg {
+			return fmt.Sprintf("line %d:\n  golden: %q\n  got:    %q", i+1, lw, lg)
+		}
+	}
+	return "contents differ in length only"
+}
+
+// TestGoldensCommitted guards against a blessed-but-forgotten state:
+// every golden figure must have its file in testdata/.
+func TestGoldensCommitted(t *testing.T) {
+	for _, fig := range goldenFigures {
+		if _, err := os.Stat(goldenPath(fig)); err != nil {
+			t.Errorf("figure %d: golden file missing (run -update and commit): %v", fig, err)
+		}
+	}
+}

@@ -31,6 +31,7 @@ type Suite struct {
 	mu       sync.Mutex
 	outcomes map[string]*outcomeEntry
 	runners  map[string]*runnerEntry
+	gen      map[string]*scene.Scenario
 	workers  int
 }
 
@@ -59,6 +60,7 @@ func NewSuite() *Suite {
 		tj:       scene.TJScenarios(),
 		outcomes: make(map[string]*outcomeEntry),
 		runners:  make(map[string]*runnerEntry),
+		gen:      make(map[string]*scene.Scenario),
 	}
 	seen := make(map[string]bool)
 	for _, sc := range s.All() {
@@ -91,6 +93,24 @@ func (s *Suite) All() []*scene.Scenario {
 	out := make([]*scene.Scenario, 0, len(s.kitti)+len(s.tj))
 	out = append(out, s.kitti...)
 	return append(out, s.tj...)
+}
+
+// Generated returns the suite's canonical scenario for the given
+// generation params, generating it on first use. Generation is
+// deterministic and cheap; caching by name keeps the runner and outcome
+// caches pointer-consistent when a sweep is re-run on the same suite.
+func (s *Suite) Generated(p scene.GenParams) (*scene.Scenario, error) {
+	sc, err := scene.Generate(p)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cached, ok := s.gen[sc.Name]; ok {
+		return cached, nil
+	}
+	s.gen[sc.Name] = sc
+	return sc, nil
 }
 
 // Runner returns the cached runner for a scenario. It panics when a
@@ -142,7 +162,8 @@ type Generator func(s *Suite, w io.Writer) error
 
 // Registry maps figure numbers to generators. Figure 13 is the §IV-G
 // wire-codec / DSRC feasibility analysis (a claims table rather than a
-// plotted figure in the paper).
+// plotted figure in the paper); figure 14 goes beyond the paper: the
+// fleet-scale N-way fusion sweep over generated scenario families.
 func Registry() map[int]Generator {
 	return map[int]Generator{
 		2:  Fig2,
@@ -157,6 +178,7 @@ func Registry() map[int]Generator {
 		11: Fig11,
 		12: Fig12,
 		13: Fig13,
+		14: FigFleet,
 	}
 }
 

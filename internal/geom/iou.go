@@ -14,14 +14,19 @@ func IntersectionAreaBEV(a, b Box) float64 {
 }
 
 // IoUBEV returns the bird's-eye-view intersection-over-union of two
-// oriented boxes. The result is in [0, 1].
+// oriented boxes. The result is in [0, 1]. A degenerate (zero-area) box
+// overlaps nothing: its IoU is exactly 0, even though polygon clipping
+// against its collapsed footprint can report a float-noise sliver.
 func IoUBEV(a, b Box) float64 {
+	areaA := a.Length * a.Width
+	areaB := b.Length * b.Width
+	if areaA <= 0 || areaB <= 0 {
+		return 0
+	}
 	inter := IntersectionAreaBEV(a, b)
 	if inter <= 0 {
 		return 0
 	}
-	areaA := a.Length * a.Width
-	areaB := b.Length * b.Width
 	union := areaA + areaB - inter
 	if union <= 0 {
 		return 0
@@ -31,8 +36,12 @@ func IoUBEV(a, b Box) float64 {
 
 // IoU3D returns the volumetric intersection-over-union of two upright
 // oriented boxes: the BEV overlap times the vertical overlap, divided by
-// the union volume. The result is in [0, 1].
+// the union volume. The result is in [0, 1]. Degenerate boxes (zero
+// volume) yield exactly 0, mirroring IoUBEV.
 func IoU3D(a, b Box) float64 {
+	if a.Volume() <= 0 || b.Volume() <= 0 {
+		return 0
+	}
 	interBEV := IntersectionAreaBEV(a, b)
 	if interBEV <= 0 {
 		return 0

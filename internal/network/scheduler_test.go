@@ -1,0 +1,108 @@
+package network
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFleetPlanEdgeCases: fleets of zero or one vehicle have nobody to
+// exchange with and must yield zero channel load and zero latency — not
+// a degenerate one-slot schedule.
+func TestFleetPlanEdgeCases(t *testing.T) {
+	s := DefaultScheduler()
+	for _, n := range []int{0, 1} {
+		p := s.FleetPlan(n, 200_000)
+		if p.Senders() != 0 {
+			t.Errorf("fleet %d: %d senders, want 0", n, p.Senders())
+		}
+		if p.TotalBytes() != 0 {
+			t.Errorf("fleet %d: %d bytes, want 0", n, p.TotalBytes())
+		}
+		if p.BytesPerSecond() != 0 || p.MbitPerSecond() != 0 {
+			t.Errorf("fleet %d: nonzero channel load %f B/s", n, p.BytesPerSecond())
+		}
+		if p.Utilization() != 0 {
+			t.Errorf("fleet %d: utilization %f, want 0", n, p.Utilization())
+		}
+		if p.Completion() != 0 {
+			t.Errorf("fleet %d: completion %v, want 0", n, p.Completion())
+		}
+		if !p.Fits() {
+			t.Errorf("fleet %d: zero load must fit the channel", n)
+		}
+	}
+}
+
+// TestPlanEmptyFrames: an explicit empty frame list equals the empty
+// round, and the zero-value Plan reports zero everything without
+// dividing by a zero-capacity channel.
+func TestPlanEmptyFrames(t *testing.T) {
+	p := DefaultScheduler().Plan(nil)
+	if p.Senders() != 0 || p.Completion() != 0 || p.BytesPerSecond() != 0 {
+		t.Errorf("empty plan not empty: %+v", p)
+	}
+	var zero Plan
+	if zero.Utilization() != 0 || zero.Completion() != 0 || zero.TotalBytes() != 0 {
+		t.Errorf("zero-value plan degenerate: util %f", zero.Utilization())
+	}
+}
+
+// TestPlanSerializesSenders: K frames occupy the channel back to back;
+// each slot starts where the previous ended and the round completes at
+// the last slot's end.
+func TestPlanSerializesSenders(t *testing.T) {
+	s := DefaultScheduler()
+	frames := []int{100_000, 200_000, 50_000}
+	p := s.Plan(frames)
+	if p.Senders() != len(frames) {
+		t.Fatalf("senders = %d, want %d", p.Senders(), len(frames))
+	}
+	var prevEnd time.Duration
+	var sum time.Duration
+	for k, sl := range p.Slots {
+		if sl.Sender != k {
+			t.Errorf("slot %d: sender %d", k, sl.Sender)
+		}
+		if sl.Start != prevEnd {
+			t.Errorf("slot %d starts at %v, want %v (no gap, no overlap)", k, sl.Start, prevEnd)
+		}
+		want := s.Channel.TransmitTime(frames[k])
+		if got := sl.End - sl.Start; got != want {
+			t.Errorf("slot %d duration %v, want %v", k, got, want)
+		}
+		if p.Latency(k) != sl.End {
+			t.Errorf("latency(%d) = %v, want slot end %v", k, p.Latency(k), sl.End)
+		}
+		prevEnd = sl.End
+		sum += want
+	}
+	if p.Completion() != sum {
+		t.Errorf("completion %v, want serialized sum %v", p.Completion(), sum)
+	}
+	if got, want := p.TotalBytes(), 350_000; got != want {
+		t.Errorf("total bytes %d, want %d", got, want)
+	}
+}
+
+// TestFleetPlanLoadScalesWithFleet: channel load grows linearly with
+// fleet size, and a large enough fleet saturates the 6 Mbit/s channel.
+func TestFleetPlanLoadScalesWithFleet(t *testing.T) {
+	s := DefaultScheduler()
+	const frame = 200_000 // ≈ the paper's compressed scan size
+	p2 := s.FleetPlan(2, frame)
+	p4 := s.FleetPlan(4, frame)
+	if got, want := p4.TotalBytes(), 2*p2.TotalBytes(); got != want {
+		t.Errorf("4-fleet round %d bytes, want double the 2-fleet %d", got, want)
+	}
+	if !p2.Fits() {
+		t.Errorf("two-vehicle exchange must fit DSRC (util %.0f%%)", 100*p2.Utilization())
+	}
+	// 200 KB × 1 Hz = 1.6 Mbit/s per vehicle; 4 vehicles exceed the
+	// 6 Mbit/s channel's 4.8 Mbit/s effective throughput.
+	if p4.Fits() {
+		t.Errorf("four-vehicle full-frame exchange should saturate DSRC (util %.0f%%)", 100*p4.Utilization())
+	}
+	if p4.Completion() <= p2.Completion() {
+		t.Errorf("larger fleet must complete later: %v vs %v", p4.Completion(), p2.Completion())
+	}
+}

@@ -160,3 +160,13 @@ func EncodedSizeRaw(n int) int { return rawHeaderSize + rawPointSize*n }
 // EncodedSizeQuantized returns the quantized-format wire size in bytes for
 // n points.
 func EncodedSizeQuantized(n int) int { return quantHeaderSize + quantPointSize*n }
+
+// QuantizedPointsFor inverts EncodedSizeQuantized: the point count a
+// quantized encoding of the given wire size carries (0 for sizes smaller
+// than a header).
+func QuantizedPointsFor(encodedBytes int) int {
+	if encodedBytes <= quantHeaderSize {
+		return 0
+	}
+	return (encodedBytes - quantHeaderSize) / quantPointSize
+}

@@ -1,0 +1,380 @@
+package scene
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"cooper/internal/geom"
+	"cooper/internal/lidar"
+)
+
+// Family names a procedural scenario family. Each family synthesizes a
+// parameterized world — road geometry, seeded occluder and traffic
+// placement — plus an N-vehicle cooperative fleet, generalizing the
+// paper's two hand-built setups to arbitrarily many scenarios.
+type Family string
+
+// The five generated scenario families.
+const (
+	// FamilyHighway is a straight multi-lane road with a convoy fleet,
+	// oncoming traffic and truck occluders.
+	FamilyHighway Family = "highway"
+	// FamilyIntersection is an urban four-way crossing with corner
+	// buildings that blind each approach arm.
+	FamilyIntersection Family = "intersection"
+	// FamilyRoundabout is a circulating ring around an occluding island,
+	// fleet vehicles approaching on radial arms.
+	FamilyRoundabout Family = "roundabout"
+	// FamilyParkingLot is a T&J-style lot: dense parked rows, fleet
+	// vehicles strung along the driving aisle.
+	FamilyParkingLot Family = "parking"
+	// FamilyPlatoon is a single-file convoy where each vehicle occludes
+	// the next one's forward view.
+	FamilyPlatoon Family = "platoon"
+)
+
+// Families returns every generated scenario family, in a fixed order.
+func Families() []Family {
+	return []Family{FamilyHighway, FamilyIntersection, FamilyRoundabout, FamilyParkingLot, FamilyPlatoon}
+}
+
+// ParseFamily resolves a family name; ok is false for unknown names.
+func ParseFamily(name string) (Family, bool) {
+	for _, f := range Families() {
+		if string(f) == name {
+			return f, true
+		}
+	}
+	return "", false
+}
+
+// MaxFleet bounds GenParams.Fleet: big enough for any fleet sweep, small
+// enough that a typo'd fleet size fails loudly instead of building a
+// thousand-vehicle world.
+const MaxFleet = 32
+
+// GenParams parameterizes procedural scenario generation. The same
+// params always generate byte-identical scenarios: every random draw
+// comes from one rand.Rand seeded with Seed, consumed in a fixed order.
+type GenParams struct {
+	// Family selects the world template.
+	Family Family
+	// Fleet is the number of cooperating vehicles (poses). Fleet 1 yields
+	// a lone vehicle with no cooperative case; Fleet ≥ 2 yields one N-way
+	// case in which pose 0 receives every other pose's cloud.
+	Fleet int
+	// Seed fixes all generation randomness and the scenario's sensing
+	// noise.
+	Seed int64
+	// Traffic overrides the family's default ambient car count when > 0.
+	Traffic int
+}
+
+// familySalt decorrelates sensing noise between families sharing a seed.
+func familySalt(f Family) int64 {
+	var h int64
+	for _, c := range string(f) {
+		h = h*131 + int64(c)
+	}
+	return h
+}
+
+// caseName labels the N-way case of a generated fleet.
+func caseName(fleet int) string {
+	if fleet == 2 {
+		return "v1+v2"
+	}
+	return fmt.Sprintf("v1..v%d", fleet)
+}
+
+// Generate synthesizes a scenario from the given parameters. Generation
+// is single-goroutine and fully deterministic: calling Generate twice
+// with equal params yields deeply equal scenarios regardless of how many
+// workers later evaluate them.
+func Generate(p GenParams) (*Scenario, error) {
+	if _, ok := ParseFamily(string(p.Family)); !ok {
+		return nil, fmt.Errorf("scene: unknown scenario family %q (families: %v)", p.Family, Families())
+	}
+	if p.Fleet < 1 || p.Fleet > MaxFleet {
+		return nil, fmt.Errorf("scene: fleet size %d out of range [1, %d]", p.Fleet, MaxFleet)
+	}
+	if p.Traffic < 0 {
+		return nil, fmt.Errorf("scene: negative traffic %d", p.Traffic)
+	}
+
+	name := fmt.Sprintf("%s/f%d/s%d", p.Family, p.Fleet, p.Seed)
+	if p.Traffic > 0 {
+		// Traffic changes the world, so it must change the name too —
+		// caches key scenarios by name.
+		name = fmt.Sprintf("%s/t%d", name, p.Traffic)
+	}
+	sc := &Scenario{
+		Name:  name,
+		Scene: New(),
+		Seed:  p.Seed*1000003 + familySalt(p.Family),
+	}
+	rng := rand.New(rand.NewSource(p.Seed*7919 + familySalt(p.Family)))
+
+	switch p.Family {
+	case FamilyHighway:
+		genHighway(sc, rng, p)
+	case FamilyIntersection:
+		genIntersection(sc, rng, p)
+	case FamilyRoundabout:
+		genRoundabout(sc, rng, p)
+	case FamilyParkingLot:
+		genParkingLot(sc, rng, p)
+	case FamilyPlatoon:
+		genPlatoon(sc, rng, p)
+	}
+
+	sc.PoseLabels = make([]string, len(sc.Poses))
+	for i := range sc.Poses {
+		sc.PoseLabels[i] = fmt.Sprintf("v%d", i+1)
+	}
+	if p.Fleet >= 2 {
+		senders := make([]int, 0, p.Fleet-1)
+		for i := 1; i < p.Fleet; i++ {
+			senders = append(senders, i)
+		}
+		sc.Cases = []CoopCase{NWayCase(caseName(p.Fleet), 0, senders)}
+	}
+	return sc, nil
+}
+
+// fleetHDL64 is the 64-beam road sensor with the azimuth step doubled:
+// fleet scenarios sense up to MaxFleet poses per scan round, and halving
+// the ray count keeps N-pose sensing tractable without changing the
+// occlusion geometry the evaluation depends on.
+func fleetHDL64() lidar.Config {
+	cfg := lidar.HDL64()
+	cfg.AzimuthStep = geom.Deg2Rad(0.4)
+	return cfg
+}
+
+// traffic resolves the ambient car budget.
+func traffic(p GenParams, familyDefault int) int {
+	if p.Traffic > 0 {
+		return p.Traffic
+	}
+	return familyDefault
+}
+
+// jitter returns a uniform draw in [-half, half].
+func jitter(rng *rand.Rand, half float64) float64 {
+	return (rng.Float64() - 0.5) * 2 * half
+}
+
+// genHighway builds a straight four-lane highway along +x. The fleet is
+// a staggered convoy in the two forward lanes; ahead of it, trucks
+// shield slower traffic, and oncoming vehicles run the opposite lanes.
+func genHighway(sc *Scenario, rng *rand.Rand, p GenParams) {
+	sc.Dataset = DatasetKITTI
+	sc.LiDAR = fleetHDL64()
+	w := sc.Scene
+
+	// Convoy: staggered across the two forward lanes (y = -1.75, -5.25).
+	gap := 16 + 6*rng.Float64()
+	x := 0.0
+	for i := 0; i < p.Fleet; i++ {
+		lane := -1.75
+		if i%2 == 1 {
+			lane = -5.25
+		}
+		sc.Poses = append(sc.Poses, VehiclePose(x+jitter(rng, 2), lane, 0))
+		x += gap
+	}
+	front := x // just beyond the last convoy vehicle
+
+	// Shoulder trees along the stretch. (No guard rails: rail segments
+	// read as car-sized boxes to the detector and would bury the figure's
+	// precision numbers in scene-model artefacts; trucks carry the
+	// occlusion story instead.)
+	for t := 0.0; t < front+70; t += 24 {
+		w.AddTree(t+jitter(rng, 5), 13+jitter(rng, 2))
+		w.AddTree(t+12+jitter(rng, 5), -13-jitter(rng, 2))
+	}
+
+	// Truck occluders ahead of the convoy, each hiding a slower car.
+	w.AddTruck(front+14+jitter(rng, 3), -5.25, 0)
+	w.AddCar(front+26+jitter(rng, 3), -5.0, 0) // hidden behind the truck
+	w.AddTruck(front+32+jitter(rng, 3), 1.75, math.Pi)
+	w.AddCar(front+44+jitter(rng, 3), 2.0, math.Pi) // hidden oncoming
+
+	// Ambient traffic: forward cars beyond the trucks, oncoming along the
+	// whole stretch.
+	n := traffic(p, 8)
+	for k := 0; k < n; k++ {
+		if k%2 == 0 {
+			lane := -1.75
+			if k%4 == 0 {
+				lane = -5.25
+			}
+			w.AddCar(front+36+float64(k)*9+jitter(rng, 3), lane+jitter(rng, 0.3), jitter(rng, 0.05))
+		} else {
+			lane := 1.75
+			if k%4 == 1 {
+				lane = 5.25
+			}
+			w.AddCar(float64(k)*(front+50)/float64(n)+jitter(rng, 4), lane+jitter(rng, 0.3), math.Pi+jitter(rng, 0.05))
+		}
+	}
+}
+
+// genIntersection builds an urban four-way crossing at the origin. Corner
+// buildings blind each approach; the fleet is spread across the four
+// arms, so fusing their views opens up the whole box.
+func genIntersection(sc *Scenario, rng *rand.Rand, p GenParams) {
+	sc.Dataset = DatasetKITTI
+	sc.LiDAR = fleetHDL64()
+	w := sc.Scene
+
+	// Corner buildings and back-lot trees.
+	for _, sx := range []float64{-1, 1} {
+		for _, sy := range []float64{-1, 1} {
+			w.AddBuilding(sx*17, sy*16, 18+jitter(rng, 3), 12+jitter(rng, 2), 7+2*rng.Float64(), 0)
+			w.AddTree(sx*(30+jitter(rng, 3)), sy*(26+jitter(rng, 3)))
+		}
+	}
+
+	// Fleet on the four approach arms, heading toward the box; a second
+	// ring of arms starts once all four are occupied.
+	for i := 0; i < p.Fleet; i++ {
+		r := 13 + 8*float64(i/4) + jitter(rng, 1.5)
+		switch i % 4 {
+		case 0:
+			sc.Poses = append(sc.Poses, VehiclePose(-r, -3, 0))
+		case 1:
+			sc.Poses = append(sc.Poses, VehiclePose(r, 3, math.Pi))
+		case 2:
+			sc.Poses = append(sc.Poses, VehiclePose(3, -r, math.Pi/2))
+		case 3:
+			sc.Poses = append(sc.Poses, VehiclePose(-3, r, -math.Pi/2))
+		}
+	}
+
+	// Cross traffic inside and around the box, queued cars on the arms
+	// beyond the fleet, pedestrians at the corners.
+	queueStart := 13 + 8*math.Ceil(float64(p.Fleet)/4) + 6
+	n := traffic(p, 8)
+	for k := 0; k < n; k++ {
+		switch k % 4 {
+		case 0: // crossing the box north-south
+			w.AddCar(3+jitter(rng, 0.4), -8+float64(k)*4+jitter(rng, 1.5), math.Pi/2+jitter(rng, 0.05))
+		case 1: // crossing east-west
+			w.AddCar(-8+float64(k)*4+jitter(rng, 1.5), 3+jitter(rng, 0.4), math.Pi+jitter(rng, 0.05))
+		case 2: // queued on the east arm
+			w.AddCar(queueStart+float64(k)*3+jitter(rng, 1), -3+jitter(rng, 0.3), 0)
+		case 3: // queued on the north arm
+			w.AddCar(-3+jitter(rng, 0.3), queueStart+float64(k)*3+jitter(rng, 1), -math.Pi/2)
+		}
+	}
+	w.AddPedestrian(9+jitter(rng, 1), 9+jitter(rng, 1))
+	w.AddPedestrian(-9+jitter(rng, 1), 9+jitter(rng, 1))
+	w.AddTruck(-9, 8.5, math.Pi/2) // parked truck shading one corner
+}
+
+// genRoundabout builds a circulating ring around an occluding island.
+// Ring traffic disappears behind the island from any single arm; the
+// fleet's arms together see the full circle.
+func genRoundabout(sc *Scenario, rng *rand.Rand, p GenParams) {
+	sc.Dataset = DatasetTJ
+	sc.LiDAR = lidar.VLP16()
+	w := sc.Scene
+
+	// Island: a dense tree ring occludes car bodies across the circle.
+	for k := 0; k < 8; k++ {
+		ang := float64(k) * math.Pi / 4
+		w.AddTree(5.5*math.Cos(ang), 5.5*math.Sin(ang))
+	}
+
+	// Fleet approaching on radial arms (every 90°, then a second ring).
+	for i := 0; i < p.Fleet; i++ {
+		ang := float64(i%4)*math.Pi/2 + math.Pi/8
+		r := 16 + 7*float64(i/4) + jitter(rng, 1.5)
+		sc.Poses = append(sc.Poses, VehiclePose(r*math.Cos(ang), r*math.Sin(ang), ang+math.Pi))
+	}
+
+	// Circulating cars on the ring plus cars leaving on exits.
+	n := traffic(p, 6)
+	for k := 0; k < n; k++ {
+		ang := 2*math.Pi*float64(k)/float64(n) + jitter(rng, 0.15)
+		if k%3 == 2 {
+			r := 20 + jitter(rng, 2)
+			exit := ang + jitter(rng, 0.1)
+			w.AddCar(r*math.Cos(exit), r*math.Sin(exit), exit+jitter(rng, 0.1))
+		} else {
+			w.AddCar(11.5*math.Cos(ang), 11.5*math.Sin(ang), ang+math.Pi/2+jitter(rng, 0.08))
+		}
+	}
+	w.AddBuilding(0, 34, 26, 10, 6+2*rng.Float64(), jitter(rng, 0.2))
+	w.AddTree(-28+jitter(rng, 3), -20+jitter(rng, 3))
+}
+
+// genParkingLot builds a T&J-style lot: facing rows of parked cars
+// across a driving aisle, the fleet strung along the aisle so each
+// vehicle sees only its own stretch.
+func genParkingLot(sc *Scenario, rng *rand.Rand, p GenParams) {
+	sc.Dataset = DatasetTJ
+	sc.LiDAR = lidar.VLP16()
+	w := sc.Scene
+
+	gap := 5 + 3*rng.Float64()
+	for i := 0; i < p.Fleet; i++ {
+		sc.Poses = append(sc.Poses, VehiclePose(float64(i)*gap+jitter(rng, 0.8), 0, 0))
+	}
+	span := float64(p.Fleet) * gap
+
+	// Parked rows flanking the aisle plus a mostly-hidden second row.
+	// Tiny traffic budgets leave the back row empty rather than negative.
+	n := traffic(p, 12)
+	perRow := (n + 2) / 3
+	backRow := n - 2*perRow
+	if backRow < 0 {
+		backRow = 0
+	}
+	pitch := math.Max(5.2, (span+24)/float64(perRow))
+	addParkingRow(w, rng, -8, 7.5, perRow, pitch, -math.Pi/2)
+	addParkingRow(w, rng, -8, -7.5, perRow, pitch, math.Pi/2)
+	addParkingRow(w, rng, -5, 16.5, backRow, pitch, -math.Pi/2)
+
+	w.AddTruck(span+10+jitter(rng, 2), -3+jitter(rng, 0.5), 0) // delivery truck blocking the aisle end
+	w.AddCar(span+19+jitter(rng, 2), -3.5, 0)                  // hidden behind it
+	w.AddBuilding(span/2, 30, span+20, 12, 7+2*rng.Float64(), 0)
+	w.AddTree(-14, jitter(rng, 4))
+}
+
+// genPlatoon builds a single-file convoy in a built-up canyon: every
+// vehicle occludes the next one's forward view, so the lead vehicle's
+// frame is what the tail of the platoon needs.
+func genPlatoon(sc *Scenario, rng *rand.Rand, p GenParams) {
+	sc.Dataset = DatasetTJ
+	sc.LiDAR = lidar.VLP16()
+	w := sc.Scene
+
+	x := 0.0
+	for i := 0; i < p.Fleet; i++ {
+		sc.Poses = append(sc.Poses, VehiclePose(x, jitter(rng, 0.3), 0))
+		x += 8 + 3*rng.Float64()
+	}
+	front := x
+
+	// Canyon walls and street trees.
+	w.AddBuilding(front/2, 14, front+30, 10, 8+2*rng.Float64(), 0)
+	w.AddBuilding(front/2-5, -14, front+30, 10, 7+2*rng.Float64(), 0)
+	w.AddTree(-10, 8)
+	w.AddTree(front+24, 8+jitter(rng, 1))
+
+	// The truck ahead of the lead vehicle hides the stopped traffic that
+	// only cooperation reveals to the platoon's tail.
+	w.AddTruck(front+9+jitter(rng, 2), jitter(rng, 0.4), 0)
+	n := traffic(p, 6)
+	for k := 0; k < n; k++ {
+		if k%2 == 0 { // stopped queue beyond the truck
+			w.AddCar(front+20+float64(k)*5+jitter(rng, 1.5), jitter(rng, 0.5), jitter(rng, 0.05))
+		} else { // oncoming lane
+			w.AddCar(float64(k)*(front+20)/float64(n)+jitter(rng, 3), 4.5+jitter(rng, 0.4), math.Pi+jitter(rng, 0.05))
+		}
+	}
+}

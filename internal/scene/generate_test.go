@@ -1,0 +1,155 @@
+package scene
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func mustGenerate(t *testing.T, p GenParams) *Scenario {
+	t.Helper()
+	sc, err := Generate(p)
+	if err != nil {
+		t.Fatalf("Generate(%+v): %v", p, err)
+	}
+	return sc
+}
+
+// render serializes everything a scenario generates so equality checks
+// are effectively byte-for-byte.
+func render(sc *Scenario) string {
+	return fmt.Sprintf("%s|%s|%s|%+v|%+v|%+v|%+v|%v|%d",
+		sc.Name, sc.Dataset, sc.LiDAR.Name, sc.Scene.Objects, sc.Poses, sc.PoseLabels, sc.Cases, sc.FrontFOV, sc.Seed)
+}
+
+// TestGenerateDeterministic: the same params must generate byte-identical
+// scenarios on every call — the property that lets any worker count (and
+// any process) rebuild the exact same world from (family, fleet, seed).
+func TestGenerateDeterministic(t *testing.T) {
+	for _, fam := range Families() {
+		for _, fleet := range []int{1, 2, 5, 8} {
+			p := GenParams{Family: fam, Fleet: fleet, Seed: 42}
+			a := mustGenerate(t, p)
+			b := mustGenerate(t, p)
+			if !reflect.DeepEqual(a.Scene.Objects, b.Scene.Objects) {
+				t.Errorf("%s fleet %d: objects differ between generations", fam, fleet)
+			}
+			if ra, rb := render(a), render(b); ra != rb {
+				t.Errorf("%s fleet %d: generated scenarios not identical:\n%s\n%s", fam, fleet, ra, rb)
+			}
+		}
+	}
+}
+
+// TestGenerateSeedsDiffer: different seeds must actually move the world,
+// otherwise the sweep's "families × seeds" space collapses.
+func TestGenerateSeedsDiffer(t *testing.T) {
+	for _, fam := range Families() {
+		a := mustGenerate(t, GenParams{Family: fam, Fleet: 4, Seed: 1})
+		b := mustGenerate(t, GenParams{Family: fam, Fleet: 4, Seed: 2})
+		if reflect.DeepEqual(a.Scene.Objects, b.Scene.Objects) && reflect.DeepEqual(a.Poses, b.Poses) {
+			t.Errorf("%s: seeds 1 and 2 generated identical worlds", fam)
+		}
+		if a.Name == b.Name {
+			t.Errorf("%s: different seeds share scenario name %q", fam, a.Name)
+		}
+	}
+}
+
+// TestGenerateFleetStructure: every generated scenario must wire fleet
+// poses into one N-way case — pose 0 receiving from all others — with
+// labels for each pose.
+func TestGenerateFleetStructure(t *testing.T) {
+	for _, fam := range Families() {
+		for _, fleet := range []int{2, 3, 8} {
+			sc := mustGenerate(t, GenParams{Family: fam, Fleet: fleet, Seed: 7})
+			if len(sc.Poses) != fleet {
+				t.Fatalf("%s: %d poses, want %d", fam, len(sc.Poses), fleet)
+			}
+			if len(sc.PoseLabels) != fleet {
+				t.Fatalf("%s: %d labels, want %d", fam, len(sc.PoseLabels), fleet)
+			}
+			if len(sc.Cases) != 1 {
+				t.Fatalf("%s: %d cases, want 1", fam, len(sc.Cases))
+			}
+			c := sc.Cases[0]
+			if c.Receiver() != 0 {
+				t.Errorf("%s: receiver %d, want 0", fam, c.Receiver())
+			}
+			senders := c.Senders()
+			if len(senders) != fleet-1 {
+				t.Fatalf("%s: %d senders, want %d", fam, len(senders), fleet-1)
+			}
+			for k, s := range senders {
+				if s != k+1 {
+					t.Errorf("%s: sender %d is pose %d, want %d", fam, k, s, k+1)
+				}
+			}
+			if d := sc.DeltaD(c); d <= 0 {
+				t.Errorf("%s: DeltaD %f, want > 0", fam, d)
+			}
+			if len(sc.Scene.Cars()) == 0 {
+				t.Errorf("%s: generated world has no ground-truth cars", fam)
+			}
+		}
+	}
+}
+
+// TestGenerateSingleVehicle: a one-vehicle fleet has nobody to exchange
+// with — a pose but no cooperative case.
+func TestGenerateSingleVehicle(t *testing.T) {
+	sc := mustGenerate(t, GenParams{Family: FamilyHighway, Fleet: 1, Seed: 3})
+	if len(sc.Poses) != 1 || len(sc.Cases) != 0 {
+		t.Errorf("fleet 1: %d poses, %d cases; want 1 pose, 0 cases", len(sc.Poses), len(sc.Cases))
+	}
+}
+
+// TestGenerateRejectsBadParams pins the validation surface.
+func TestGenerateRejectsBadParams(t *testing.T) {
+	bad := []GenParams{
+		{Family: "autobahn", Fleet: 2, Seed: 1},
+		{Family: FamilyHighway, Fleet: 0, Seed: 1},
+		{Family: FamilyHighway, Fleet: -1, Seed: 1},
+		{Family: FamilyHighway, Fleet: MaxFleet + 1, Seed: 1},
+		{Family: FamilyHighway, Fleet: 2, Seed: 1, Traffic: -4},
+	}
+	for _, p := range bad {
+		if _, err := Generate(p); err == nil {
+			t.Errorf("Generate(%+v) accepted invalid params", p)
+		}
+	}
+}
+
+// TestGenerateTrafficVariants: tiny traffic budgets must not blow up
+// the row math (regression: parking with traffic 1 built a negative
+// row), and a traffic override must be visible in the scenario name —
+// caches key scenarios by name, so same-name-different-world would be
+// served stale.
+func TestGenerateTrafficVariants(t *testing.T) {
+	for _, fam := range Families() {
+		for _, tr := range []int{1, 2, 30} {
+			sc := mustGenerate(t, GenParams{Family: fam, Fleet: 2, Seed: 1, Traffic: tr})
+			if len(sc.Scene.Cars()) == 0 {
+				t.Errorf("%s traffic %d: no cars generated", fam, tr)
+			}
+		}
+	}
+	base := mustGenerate(t, GenParams{Family: FamilyParkingLot, Fleet: 2, Seed: 1})
+	dense := mustGenerate(t, GenParams{Family: FamilyParkingLot, Fleet: 2, Seed: 1, Traffic: 20})
+	if base.Name == dense.Name {
+		t.Errorf("traffic override not reflected in name: both %q", base.Name)
+	}
+}
+
+// TestParseFamily covers the name round-trip the CLIs rely on.
+func TestParseFamily(t *testing.T) {
+	for _, f := range Families() {
+		got, ok := ParseFamily(string(f))
+		if !ok || got != f {
+			t.Errorf("ParseFamily(%q) = %v, %v", f, got, ok)
+		}
+	}
+	if _, ok := ParseFamily("T-junction"); ok {
+		t.Error("ParseFamily accepted a paper scenario name")
+	}
+}

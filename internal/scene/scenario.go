@@ -16,13 +16,38 @@ const (
 	DatasetTJ    Dataset = "T&J"   // 16-beam, parking lots
 )
 
-// CoopCase is one cooperative-perception experiment: two viewpoints whose
-// scans are merged (e.g. the paper's "t1 + t2" or "car1 + car3" columns).
+// CoopCase is one cooperative-perception experiment: a receiving
+// viewpoint merged with one or more transmitting viewpoints. The paper's
+// cases are pairwise ("t1 + t2", "car1 + car3"); generated fleet
+// scenarios add further senders through Extra for N-way fusion.
 type CoopCase struct {
-	// Name is the paper's column label, e.g. "t1+t2".
+	// Name is the case label, e.g. "t1+t2".
 	Name string
-	// I and J index Scenario.Poses.
+	// I and J index Scenario.Poses: the receiver and the primary sender.
 	I, J int
+	// Extra lists additional sender pose indices beyond J. A nil or empty
+	// Extra is the paper's original pairwise case.
+	Extra []int
+}
+
+// Receiver returns the pose index that fuses the transmitted clouds.
+func (c CoopCase) Receiver() int { return c.I }
+
+// Senders returns every transmitting pose index, primary sender first.
+func (c CoopCase) Senders() []int {
+	out := make([]int, 0, 1+len(c.Extra))
+	out = append(out, c.J)
+	return append(out, c.Extra...)
+}
+
+// NWayCase builds a case where the receiver fuses every sender's cloud.
+// senders must be non-empty; the first becomes the primary sender J.
+func NWayCase(name string, receiver int, senders []int) CoopCase {
+	c := CoopCase{Name: name, I: receiver, J: senders[0]}
+	if len(senders) > 1 {
+		c.Extra = append(c.Extra, senders[1:]...)
+	}
+	return c
 }
 
 // Scenario is a complete experimental setup: a scene, the LiDAR model, a
@@ -50,12 +75,18 @@ type Scenario struct {
 	Seed int64
 }
 
-// DeltaD returns the ground-plane distance between the two poses of a
-// case — the Δd annotation of Figs. 3 and 6.
+// DeltaD returns the ground-plane distance between the receiver and its
+// farthest sender — the Δd annotation of Figs. 3 and 6. For the paper's
+// pairwise cases this is simply the distance between the two poses.
 func (s *Scenario) DeltaD(c CoopCase) float64 {
 	pi := s.Poses[c.I].T
-	pj := s.Poses[c.J].T
-	return pi.DistXY(pj)
+	max := 0.0
+	for _, j := range c.Senders() {
+		if d := pi.DistXY(s.Poses[j].T); d > max {
+			max = d
+		}
+	}
+	return max
 }
 
 // VehiclePose builds a vehicle pose from a ground position and heading.
