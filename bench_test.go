@@ -9,7 +9,9 @@
 package cooper_test
 
 import (
+	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"testing"
 
@@ -17,6 +19,7 @@ import (
 	"cooper/internal/experiments"
 	"cooper/internal/fusion"
 	"cooper/internal/geom"
+	"cooper/internal/hub"
 	"cooper/internal/lidar"
 	"cooper/internal/network"
 	"cooper/internal/pointcloud"
@@ -127,6 +130,83 @@ func BenchmarkFleetSweepFigure(b *testing.B) {
 		suite := experiments.NewSuite()
 		if err := experiments.Run(suite, 14, io.Discard); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// --- Fleet hub serving layer ---
+//
+// The Hub benchmarks are the perf-trajectory numbers for the serving
+// subsystem: assembling K-sender fusion rounds from the latest-frame
+// cache, with and without bandwidth-capped payload refitting, and the
+// full TCP request/reply round trip. CI's hub bench-smoke step runs
+// these once and records BENCH_hub.json.
+
+// hubFleet publishes n synthetic vehicle frames (~pts points each,
+// spread all around the sensor so the ROI ladder genuinely shrinks them)
+// into a fresh hub.
+func hubFleet(b *testing.B, n, pts int) *hub.Hub {
+	b.Helper()
+	h := hub.New(hub.Config{})
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < n; i++ {
+		cloud := pointcloud.New(pts)
+		for p := 0; p < pts; p++ {
+			az := rng.Float64()*2*math.Pi - math.Pi
+			r := 2 + rng.Float64()*40
+			cloud.AppendXYZR(r*math.Cos(az), r*math.Sin(az), rng.Float64()*2, rng.Float64())
+		}
+		payload, err := pointcloud.EncodeQuantized(cloud)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st := fusion.VehicleState{GPS: geom.V3(float64(12*i), 0, 0), MountHeight: 1.7}
+		if _, err := h.Publish(fmt.Sprintf("v%d", i+1), st, payload, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return h
+}
+
+func benchHubAssemble(b *testing.B, vehicles int, budgetBps uint64) {
+	h := hubFleet(b, vehicles, 20_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.AssembleRound("rx", geom.V3(0, 0, 0), 0, budgetBps); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHubAssemble4Uncapped(b *testing.B)  { benchHubAssemble(b, 4, 0) }
+func BenchmarkHubAssemble8Uncapped(b *testing.B)  { benchHubAssemble(b, 8, 0) }
+func BenchmarkHubAssemble8Budgeted(b *testing.B)  { benchHubAssemble(b, 8, 2_000_000) }
+func BenchmarkHubAssemble16Budgeted(b *testing.B) { benchHubAssemble(b, 16, 2_000_000) }
+
+// BenchmarkHubSessionRound measures the full serving path over loopback
+// TCP: fusion request in, K scheduled frames out.
+func BenchmarkHubSessionRound(b *testing.B) {
+	h := hubFleet(b, 8, 20_000)
+	l, err := network.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go h.Serve(l)
+	defer h.Close()
+	st := fusion.VehicleState{GPS: geom.V3(1, 0, 0), MountHeight: 1.7}
+	cl, _, err := hub.Connect(l.Addr(), "rx", st)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frames, err := cl.RequestRound(st, 0, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(frames) != 8 {
+			b.Fatalf("round carried %d frames, want 8", len(frames))
 		}
 	}
 }

@@ -1,21 +1,39 @@
-// Command coopernode demonstrates Cooper over a real network transport:
-// a serving vehicle shares its LiDAR frames over TCP, and a requesting
-// vehicle fetches them, fuses and detects.
+// Command coopernode runs Cooper over a real network transport, in two
+// generations. The original 1:1 protocol pairs one serving and one
+// requesting vehicle:
 //
 //	coopernode -serve 127.0.0.1:7777 -scenario "TJ-Scenario 1" -pose 1
 //	coopernode -connect 127.0.0.1:7777 -scenario "TJ-Scenario 1" -pose 0
+//
+// The fleet hub serves many concurrent vehicles: it caches every
+// vehicle's latest frame and assembles K-sender fusion rounds on demand,
+// fitting payloads under an advertised bandwidth cap:
+//
+//	coopernode -hub 127.0.0.1:7777
+//	coopernode -join 127.0.0.1:7777 -scenario platoon -fleet 4 -seed 7 -pose 1
+//	coopernode -join 127.0.0.1:7777 -scenario platoon -fleet 4 -seed 7 -pose 0 -bw 2.0
+//
+// -selftest K spins the whole thing — hub plus K clients — inside one
+// process from a generated scenario and prints a deterministic fused
+// precision/recall and modelled round-latency report:
+//
+//	coopernode -selftest 4 -seed 7
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"cooper/internal/core"
-	"cooper/internal/fusion"
+	"cooper/internal/hub"
 	"cooper/internal/network"
 	"cooper/internal/scene"
 )
+
+// defaultScenario is the -scenario flag default, the 1:1 demo scenario.
+const defaultScenario = "TJ-Scenario 1"
 
 func main() {
 	if err := run(); err != nil {
@@ -25,48 +43,187 @@ func main() {
 }
 
 func run() error {
-	serve := flag.String("serve", "", "address to serve a vehicle's frames on")
-	connect := flag.String("connect", "", "address of a serving vehicle")
-	scenarioName := flag.String("scenario", "TJ-Scenario 1", "scenario providing world and poses")
+	serve := flag.String("serve", "", "1:1 mode: address to serve this vehicle's frames on")
+	connect := flag.String("connect", "", "1:1 mode: address of a serving vehicle")
+	hubAddr := flag.String("hub", "", "hub mode: address to run the fleet hub on")
+	join := flag.String("join", "", "client mode: address of a fleet hub to join")
+	selftest := flag.Int("selftest", 0, "run an in-process hub with K clients and print a deterministic report")
+	scenarioName := flag.String("scenario", defaultScenario, "scenario name or generated family")
 	pose := flag.Int("pose", 0, "pose index this node embodies")
+	fleet := flag.Int("fleet", 4, "fleet size for generated families (and -selftest)")
+	seed := flag.Int64("seed", 1, "generation + sensing seed for generated families")
+	traffic := flag.Int("traffic", 0, "ambient car count for generated families (0 = family default)")
+	bw := flag.Float64("bw", 0, "advertised bandwidth cap, Mbit/s (0 = uncapped)")
+	k := flag.Int("k", 0, "max senders per fusion round (0 = hub default / whole fleet)")
+	workers := flag.Int("workers", 0, "selftest client fan-out goroutines (0 = one per CPU); output identical at any value")
 	flag.Parse()
 
-	var sc *scene.Scenario
-	for _, s := range scene.AllScenarios() {
-		if s.Name == *scenarioName {
-			sc = s
-			break
+	switch {
+	case *selftest > 0:
+		family, err := familyOf(*scenarioName)
+		if err != nil {
+			return err
+		}
+		return hub.SelfTest(os.Stdout, hub.SelfTestOptions{
+			Family:        family,
+			Fleet:         *selftest,
+			Seed:          *seed,
+			Traffic:       *traffic,
+			Workers:       *workers,
+			BandwidthMbps: *bw,
+			MaxSenders:    *k,
+		})
+	case *hubAddr != "":
+		return runHub(*hubAddr)
+	case *join != "":
+		sc, err := resolve(*scenarioName, *fleet, *seed, *traffic)
+		if err != nil {
+			return err
+		}
+		v, err := makeVehicle(sc, *pose)
+		if err != nil {
+			return err
+		}
+		return joinHub(v, sc, *join, *k, *bw)
+	case *serve != "":
+		sc, err := resolve(*scenarioName, *fleet, *seed, *traffic)
+		if err != nil {
+			return err
+		}
+		v, err := makeVehicle(sc, *pose)
+		if err != nil {
+			return err
+		}
+		return serveVehicle(v, *serve)
+	case *connect != "":
+		sc, err := resolve(*scenarioName, *fleet, *seed, *traffic)
+		if err != nil {
+			return err
+		}
+		v, err := makeVehicle(sc, *pose)
+		if err != nil {
+			return err
+		}
+		return requestAndFuse(v, *connect)
+	default:
+		return fmt.Errorf("specify one of -hub, -join, -selftest K, -serve or -connect")
+	}
+}
+
+// familyOf resolves the -scenario flag for selftest mode, which only
+// accepts generated families. The untouched flag default falls through
+// to the selftest's own default family; anything else unknown is an
+// error, not a silent fallback.
+func familyOf(name string) (string, error) {
+	if _, ok := scene.ParseFamily(name); ok {
+		return name, nil
+	}
+	if name == defaultScenario {
+		return "", nil // hub.SelfTest defaults to platoon
+	}
+	return "", fmt.Errorf("-selftest needs a generated family (%v), got %q", scene.Families(), name)
+}
+
+// resolve finds the named paper scenario or generates the named family.
+func resolve(name string, fleet int, seed int64, traffic int) (*scene.Scenario, error) {
+	if fam, ok := scene.ParseFamily(name); ok {
+		return scene.Generate(scene.GenParams{Family: fam, Fleet: fleet, Seed: seed, Traffic: traffic})
+	}
+	for _, sc := range scene.AllScenarios() {
+		if sc.Name == name {
+			return sc, nil
 		}
 	}
-	if sc == nil {
-		return fmt.Errorf("unknown scenario %q", *scenarioName)
-	}
-	if *pose < 0 || *pose >= len(sc.Poses) {
-		return fmt.Errorf("pose %d out of range (scenario has %d)", *pose, len(sc.Poses))
-	}
-
-	vehicle := makeVehicle(sc, *pose)
-	vehicle.Sense(sc.Scene.Targets(), sc.Scene.GroundZ)
-
-	switch {
-	case *serve != "":
-		return serveVehicle(vehicle, *serve)
-	case *connect != "":
-		return requestAndFuse(vehicle, *connect)
-	default:
-		return fmt.Errorf("specify -serve or -connect")
-	}
+	return nil, fmt.Errorf("unknown scenario %q", name)
 }
 
-func makeVehicle(sc *scene.Scenario, pose int) *core.Vehicle {
-	p := sc.Poses[pose]
-	state := fusion.VehicleState{
-		GPS:         p.T,
-		Yaw:         p.R.Yaw(),
-		MountHeight: sc.LiDAR.MountHeight,
+func makeVehicle(sc *scene.Scenario, pose int) (*core.Vehicle, error) {
+	if pose < 0 || pose >= len(sc.Poses) {
+		return nil, fmt.Errorf("pose %d out of range (scenario has %d)", pose, len(sc.Poses))
 	}
-	return core.NewVehicle(sc.PoseLabels[pose], sc.LiDAR, state, sc.Seed+int64(pose)*997)
+	v := core.PoseVehicle(sc, pose)
+	v.Sense(sc.Scene.Targets(), sc.Scene.GroundZ)
+	return v, nil
 }
+
+// runHub serves the fleet hub until interrupted.
+func runHub(addr string) error {
+	l, err := network.Listen(addr)
+	if err != nil {
+		return err
+	}
+	h := hub.New(hub.Config{Logf: func(format string, args ...any) {
+		fmt.Printf("hub: "+format+"\n", args...)
+	}})
+	fmt.Printf("fleet hub listening on %s\n", l.Addr())
+	return h.Serve(l)
+}
+
+// joinHub runs one vehicle's hub session: publish the sensed frame, then
+// request a fusion round and detect on the merge.
+func joinHub(v *core.Vehicle, sc *scene.Scenario, addr string, k int, bwMbps float64) error {
+	cl, peers, err := hub.Connect(addr, v.ID, v.State())
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	fmt.Printf("%s joined hub at %s (%d vehicle(s) already cached)\n", v.ID, addr, peers)
+
+	pkg, err := v.PreparePackage(nil)
+	if err != nil {
+		return err
+	}
+	cached, err := cl.Publish(v.State(), pkg.Payload)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("published %d KB frame; hub now caches %d vehicle(s)\n", len(pkg.Payload)/1024, cached)
+
+	frames, err := cl.RequestRound(v.State(), k, uint64(bwMbps*1e6))
+	if err != nil {
+		return err
+	}
+	if len(frames) == 0 {
+		fmt.Println("no peers cached yet — join more vehicles, then request again")
+		return nil
+	}
+
+	senders := make([]string, len(frames))
+	pkgs := make([]core.ExchangePackage, len(frames))
+	sizes := make([]int, len(frames))
+	total := 0
+	for i, f := range frames {
+		senders[i] = f.Sender
+		pkgs[i] = core.ExchangePackage{SenderID: f.Sender, State: f.State, Payload: f.Payload}
+		sizes[i] = len(f.Payload)
+		total += len(f.Payload)
+	}
+	plan := network.DefaultScheduler().Plan(sizes)
+	fmt.Printf("fusion round: %d frame(s) from %s, %d KB, modelled latency %v (load %.2f Mbit/s, fits %v)\n",
+		len(frames), strings.Join(senders, "+"), total/1024,
+		plan.Completion().Round(1e5), plan.MbitPerSecond(), plan.Fits())
+
+	singles, _, err := v.Detect()
+	if err != nil {
+		return err
+	}
+	coop, _, err := v.CooperativeDetect(pkgs...)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("single shot: %d cars; cooperative: %d cars\n", len(singles), len(coop))
+	for _, d := range coop {
+		fmt.Printf("  car at (%6.1f, %6.1f) score %.2f\n", d.Box.Center.X, d.Box.Center.Y, d.Score)
+	}
+	return nil
+}
+
+// --- original 1:1 protocol ---
+//
+// The wire exchange is unchanged from the pre-hub coopernode; the node's
+// detector is now configured through core.PoseVehicle, so its range gate
+// matches the evaluation runner's (45 m on 16-beam T&J data, 70 m on
+// 64-beam KITTI data) instead of the old fixed default.
 
 func serveVehicle(v *core.Vehicle, addr string) error {
 	l, err := network.Listen(addr)
@@ -118,6 +275,9 @@ func requestAndFuse(v *core.Vehicle, addr string) error {
 	reply, err := conn.Receive()
 	if err != nil {
 		return err
+	}
+	if reply.Type == network.MsgError {
+		return fmt.Errorf("peer error: %s", reply.Payload)
 	}
 	fmt.Printf("received %d KB frame from %s\n", len(reply.Payload)/1024, reply.Sender)
 

@@ -21,6 +21,7 @@
 //	fusion      GPS/IMU alignment, drift model, ICP refinement
 //	roi         region-of-interest extraction and background subtraction
 //	network     DSRC channel model, wire messages, TCP transport
+//	hub         fleet hub: concurrent sessions, frame cache, fusion rounds
 //	core        vehicles, exchange packages, cooperative detection
 //	eval        matching, detection matrices, accuracy, CDFs
 //
@@ -39,6 +40,7 @@ import (
 	"cooper/internal/eval"
 	"cooper/internal/fusion"
 	"cooper/internal/geom"
+	"cooper/internal/hub"
 	"cooper/internal/lidar"
 	"cooper/internal/pointcloud"
 	"cooper/internal/scene"
@@ -173,6 +175,28 @@ func Merge(receiverCloud *Cloud, aligned ...*Cloud) *Cloud {
 // Fuse aligns and merges in one step.
 func Fuse(receiver, transmitter VehicleState, receiverCloud, transmitterCloud *Cloud) *Cloud {
 	return fusion.Fuse(receiver, transmitter, receiverCloud, transmitterCloud)
+}
+
+// Fleet-hub serving layer.
+type (
+	// FleetHub is the concurrent cooperative-perception server: vehicle
+	// sessions publish frames, fusion requests get K-sender rounds
+	// assembled under the DSRC scheduler budget.
+	FleetHub = hub.Hub
+	// FleetHubConfig parameterises a hub.
+	FleetHubConfig = hub.Config
+	// HubClient is one vehicle's session with a fleet hub.
+	HubClient = hub.Client
+	// HubRoundFrame is one sender's contribution to an assembled round.
+	HubRoundFrame = hub.RoundFrame
+)
+
+// NewFleetHub creates a fleet hub; serve it with ListenAndServe or Serve.
+func NewFleetHub(cfg FleetHubConfig) *FleetHub { return hub.New(cfg) }
+
+// JoinFleetHub dials a hub and opens a vehicle session.
+func JoinFleetHub(addr, id string, state VehicleState) (*HubClient, int, error) {
+	return hub.Connect(addr, id, state)
 }
 
 // GPS drift regimes of the Fig. 10 robustness experiment.

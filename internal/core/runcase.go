@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"math"
 	"math/rand"
 	"sync"
 
@@ -98,20 +97,8 @@ func NewScenarioRunner(sc *scene.Scenario) *ScenarioRunner {
 		clouds:   make([]*pointcloud.Cloud, len(sc.Poses)),
 		sensed:   make([]sync.Once, len(sc.Poses)),
 	}
-	for i, pose := range sc.Poses {
-		state := fusion.VehicleState{
-			GPS:         pose.T,
-			Yaw:         pose.R.Yaw(),
-			Pitch:       pose.R.Pitch(),
-			Roll:        pose.R.Roll(),
-			MountHeight: sc.LiDAR.MountHeight,
-		}
-		v := NewVehicle(sc.PoseLabels[i], sc.LiDAR, state, sc.Seed+int64(i)*997)
-		cfg := spod.DefaultConfig()
-		cfg.VerticalFOVTop = sc.LiDAR.MaxElevation()
-		cfg.MaxDetectionRange = AreaRange(sc.Dataset)
-		v.SetDetector(spod.New(cfg))
-		r.vehicles[i] = v
+	for i := range sc.Poses {
+		r.vehicles[i] = PoseVehicle(sc, i)
 	}
 	return r
 }
@@ -174,19 +161,7 @@ func (r *ScenarioRunner) PreSense() {
 // inArea reports whether a car lies inside the detection area of the
 // given pose.
 func (r *ScenarioRunner) inArea(car scene.Object, poseIdx int) bool {
-	pose := r.sc.Poses[poseIdx]
-	dist := car.Box.Center.DistXY(pose.T)
-	if dist > AreaRange(r.sc.Dataset) {
-		return false
-	}
-	if r.sc.FrontFOV > 0 {
-		rel := pose.Inverse().Apply(car.Box.Center)
-		az := math.Atan2(rel.Y, rel.X)
-		if math.Abs(az) > r.sc.FrontFOV/2 {
-			return false
-		}
-	}
-	return true
+	return InArea(r.sc, car, poseIdx)
 }
 
 // column evaluates one detection column: which in-area cars were found

@@ -1,0 +1,107 @@
+package hub
+
+import (
+	"fmt"
+
+	"cooper/internal/fusion"
+	"cooper/internal/network"
+)
+
+// Client is a vehicle's session with a fleet hub: a thin, synchronous
+// protocol-v2 wrapper over the transport. A Client is not safe for
+// concurrent use; each vehicle session owns one.
+type Client struct {
+	conn *network.Transport
+	id   string
+	seq  uint64
+}
+
+// Connect dials the hub and opens a session for the named vehicle,
+// exchanging hellos. peers reports how many vehicles the hub already has
+// cached.
+func Connect(addr, id string, state fusion.VehicleState) (c *Client, peers int, err error) {
+	conn, err := network.Dial(addr)
+	if err != nil {
+		return nil, 0, err
+	}
+	c = &Client{conn: conn, id: id}
+	if err := conn.Send(network.Message{Type: network.MsgHello, Sender: id, State: state}); err != nil {
+		conn.Close()
+		return nil, 0, err
+	}
+	ack, err := c.receive(network.MsgHello)
+	if err != nil {
+		conn.Close()
+		return nil, 0, err
+	}
+	return c, int(ack.Count), nil
+}
+
+// Close ends the session.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Publish sends one frame (the encoded cloud plus capture state) and
+// waits for the hub's ack, returning how many vehicles the hub now has
+// cached. Successive publishes carry increasing sequence numbers, so the
+// hub's latest-frame cache always converges on the newest frame.
+func (c *Client) Publish(state fusion.VehicleState, payload []byte) (cached int, err error) {
+	c.seq++
+	if err := c.conn.Send(network.Message{
+		Type:    network.MsgFrame,
+		Sender:  c.id,
+		State:   state,
+		Payload: payload,
+		Seq:     c.seq,
+	}); err != nil {
+		return 0, err
+	}
+	ack, err := c.receive(network.MsgFrame)
+	if err != nil {
+		return 0, err
+	}
+	return int(ack.Count), nil
+}
+
+// RequestRound asks the hub for a fusion round of up to k senders under a
+// bandwidth cap of budgetBps bits/s (0 each for the hub defaults) and
+// collects the announced frames in slot order.
+func (c *Client) RequestRound(state fusion.VehicleState, k int, budgetBps uint64) ([]RoundFrame, error) {
+	if err := c.conn.Send(network.Message{
+		Type:   network.MsgFuseRequest,
+		Sender: c.id,
+		State:  state,
+		Count:  uint32(max(k, 0)),
+		Budget: budgetBps,
+	}); err != nil {
+		return nil, err
+	}
+	reply, err := c.receive(network.MsgFuseReply)
+	if err != nil {
+		return nil, err
+	}
+	frames := make([]RoundFrame, 0, reply.Count)
+	for i := uint32(0); i < reply.Count; i++ {
+		m, err := c.receive(network.MsgFrame)
+		if err != nil {
+			return nil, err
+		}
+		frames = append(frames, RoundFrame{Sender: m.Sender, State: m.State, Payload: m.Payload})
+	}
+	return frames, nil
+}
+
+// receive reads the next message, converting in-band MsgError replies and
+// unexpected types into errors.
+func (c *Client) receive(want network.MsgType) (network.Message, error) {
+	m, err := c.conn.Receive()
+	if err != nil {
+		return network.Message{}, err
+	}
+	if m.Type == network.MsgError {
+		return network.Message{}, fmt.Errorf("hub error: %s", m.Payload)
+	}
+	if m.Type != want {
+		return network.Message{}, fmt.Errorf("hub: expected message type %d, got %d", want, m.Type)
+	}
+	return m, nil
+}

@@ -1,0 +1,227 @@
+// Package hub implements Cooper's fleet hub: a long-lived server that
+// accepts many concurrent vehicle sessions over the network transport,
+// maintains a latest-frame cache per vehicle, and answers fusion requests
+// by assembling K-sender broadcast rounds under the DSRC scheduler's
+// budget. When a requester advertises a bandwidth cap, each selected
+// frame is refitted with the ROI payload ladder (full frame → 120° front
+// FOV → stride-downsampled) so the round's payloads honour the cap — the
+// serving-layer composition of the paper's §II-C exchange protocol and
+// §IV-G data-volume analysis.
+//
+// The hub speaks protocol v2 (network.MsgHello and friends) to fleet
+// clients and still answers a v1 MsgROIRequest with the nearest cached
+// frame, so the original 1:1 coopernode client keeps working against it.
+package hub
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"cooper/internal/fusion"
+	"cooper/internal/geom"
+	"cooper/internal/network"
+	"cooper/internal/pointcloud"
+	"cooper/internal/roi"
+)
+
+// Config parameterises a hub.
+type Config struct {
+	// Scheduler models the shared broadcast channel fusion rounds are
+	// planned on. The zero value is replaced by network.DefaultScheduler.
+	Scheduler network.Scheduler
+	// MaxSenders caps the senders per fusion round when a request does
+	// not name its own cap (default 8).
+	MaxSenders int
+	// Logf, when set, receives one line per session event (connects,
+	// publishes, rounds). The hub never logs through any other path, so
+	// servers stay silent by default and tests stay quiet.
+	Logf func(format string, args ...any)
+}
+
+// DefaultMaxSenders bounds fusion rounds for requests that do not name a
+// cap: eight senders saturate the default DSRC channel with typical
+// quantized frames, matching the fleet sweep's largest configuration.
+const DefaultMaxSenders = 8
+
+// cachedFrame is one vehicle's latest published frame, decoded once at
+// publish time so budget refits never re-decode on the request path.
+type cachedFrame struct {
+	state   fusion.VehicleState
+	payload []byte
+	cloud   *pointcloud.Cloud
+	seq     uint64
+}
+
+// Hub is the fleet server. All methods are safe for concurrent use; the
+// session loops in session.go are thin wrappers over Publish and
+// AssembleRound, so in-process callers (tests, benchmarks, the selftest
+// harness) exercise the same logic as TCP clients.
+type Hub struct {
+	cfg Config
+
+	mu     sync.RWMutex
+	frames map[string]*cachedFrame
+
+	sessMu   sync.Mutex
+	sessions map[*network.Transport]struct{}
+	listener *network.Listener
+	closed   bool
+	wg       sync.WaitGroup
+	rounds   atomic.Uint64
+}
+
+// New creates a hub.
+func New(cfg Config) *Hub {
+	if cfg.Scheduler.RateHz == 0 {
+		cfg.Scheduler = network.DefaultScheduler()
+	}
+	if cfg.MaxSenders <= 0 {
+		cfg.MaxSenders = DefaultMaxSenders
+	}
+	return &Hub{cfg: cfg, frames: make(map[string]*cachedFrame), sessions: make(map[*network.Transport]struct{})}
+}
+
+func (h *Hub) logf(format string, args ...any) {
+	if h.cfg.Logf != nil {
+		h.cfg.Logf(format, args...)
+	}
+}
+
+// Publish stores a vehicle's frame as its latest, replacing any cached
+// frame with a lower or equal sequence number. The payload must decode as
+// a point cloud; undecodable payloads are rejected so the request path
+// can rely on every cached frame being fusable. Returns the number of
+// vehicles cached after the publish.
+func (h *Hub) Publish(sender string, state fusion.VehicleState, payload []byte, seq uint64) (int, error) {
+	if sender == "" {
+		return 0, fmt.Errorf("hub: publish with empty sender")
+	}
+	cloud, err := pointcloud.Decode(payload)
+	if err != nil {
+		return 0, fmt.Errorf("hub: frame from %s: %w", sender, err)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if prev, ok := h.frames[sender]; ok && prev.seq > seq {
+		return len(h.frames), nil // stale frame raced a newer one: keep latest
+	}
+	h.frames[sender] = &cachedFrame{state: state, payload: payload, cloud: cloud, seq: seq}
+	return len(h.frames), nil
+}
+
+// Cached returns the number of vehicles with a cached frame.
+func (h *Hub) Cached() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.frames)
+}
+
+// RoundFrame is one sender's contribution to an assembled fusion round.
+type RoundFrame struct {
+	// Sender and State identify and localise the contributing vehicle.
+	Sender string
+	State  fusion.VehicleState
+	// Payload is the wire encoding actually scheduled — refitted under
+	// the requester's budget when one was advertised.
+	Payload []byte
+	// Category, Points and Downsampled describe the payload-selection
+	// rung that fit (roi.SelectPayload).
+	Category    roi.Category
+	Points      int
+	Downsampled bool
+}
+
+// Round is an assembled fusion round: the selected sender frames in
+// broadcast-slot order plus the DSRC schedule that would deliver them.
+type Round struct {
+	Frames []RoundFrame
+	// Plan schedules the frames on the hub's channel; Plan.Completion is
+	// the modelled round latency the requester would observe.
+	Plan network.Plan
+}
+
+// AssembleRound builds a fusion round for a requester at the given
+// position: the k nearest cached senders (excluding the requester
+// itself), each payload fitted under the advertised bandwidth cap.
+// k <= 0 selects the hub's MaxSenders default; budgetBps is the
+// requester's sustained-rate cap in bits per second (0 = uncapped), split
+// evenly across the selected senders at the scheduler's exchange rate.
+// Assembly is deterministic: cache contents, requester position, k and
+// budget fully determine the round, including slot order (nearest first,
+// sender ID breaking distance ties).
+func (h *Hub) AssembleRound(requester string, at geom.Vec3, k int, budgetBps uint64) (Round, error) {
+	if k <= 0 {
+		k = h.cfg.MaxSenders
+	}
+
+	type candidate struct {
+		id    string
+		dist  float64
+		frame *cachedFrame
+	}
+	h.mu.RLock()
+	cands := make([]candidate, 0, len(h.frames))
+	for id, f := range h.frames {
+		if id == requester {
+			continue
+		}
+		cands = append(cands, candidate{id: id, dist: f.state.GPS.DistXY(at), frame: f})
+	}
+	h.mu.RUnlock()
+
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].dist != cands[j].dist {
+			return cands[i].dist < cands[j].dist
+		}
+		return cands[i].id < cands[j].id
+	})
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+
+	perSender := 0
+	if budgetBps > 0 && len(cands) > 0 {
+		// The cap is a sustained rate; at the scheduler's exchange rate it
+		// buys budget/8/rate bytes per round, shared by the round's frames.
+		roundBytes := float64(budgetBps) / 8 / h.cfg.Scheduler.RateHz
+		if perSender = int(roundBytes) / len(cands); perSender < 1 {
+			perSender = 1 // a cap is a cap: force the smallest payload
+		}
+	}
+
+	r := Round{Frames: make([]RoundFrame, 0, len(cands))}
+	sizes := make([]int, 0, len(cands))
+	for _, c := range cands {
+		rf := RoundFrame{Sender: c.id, State: c.frame.state}
+		if perSender == 0 {
+			rf.Payload = c.frame.payload
+			rf.Category = roi.CategoryFullFrame
+			rf.Points = c.frame.cloud.Len()
+		} else {
+			sel, err := roi.SelectPayload(c.frame.cloud, perSender)
+			if err != nil {
+				return Round{}, fmt.Errorf("hub: fitting %s's frame: %w", c.id, err)
+			}
+			rf.Payload = sel.Payload
+			rf.Category = sel.Category
+			rf.Points = sel.Points
+			rf.Downsampled = sel.Downsampled
+		}
+		r.Frames = append(r.Frames, rf)
+		sizes = append(sizes, len(rf.Payload))
+	}
+	r.Plan = h.cfg.Scheduler.Plan(sizes)
+	return r, nil
+}
+
+// Nearest returns the cached frame closest to the given position,
+// excluding the requester — the hub's answer to a v1 one-shot request.
+func (h *Hub) Nearest(requester string, at geom.Vec3) (RoundFrame, bool) {
+	round, err := h.AssembleRound(requester, at, 1, 0)
+	if err != nil || len(round.Frames) == 0 {
+		return RoundFrame{}, false
+	}
+	return round.Frames[0], true
+}

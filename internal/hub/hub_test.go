@@ -1,0 +1,344 @@
+package hub
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"cooper/internal/fusion"
+	"cooper/internal/geom"
+	"cooper/internal/network"
+	"cooper/internal/pointcloud"
+)
+
+// testCloud builds an all-around cloud so the front-FOV rung shrinks it.
+func testCloud(n int, seed int64) *pointcloud.Cloud {
+	rng := rand.New(rand.NewSource(seed))
+	c := &pointcloud.Cloud{}
+	for i := 0; i < n; i++ {
+		az := rng.Float64()*2*math.Pi - math.Pi
+		r := 2 + rng.Float64()*30
+		c.AppendXYZR(r*math.Cos(az), r*math.Sin(az), rng.Float64()*2, rng.Float64())
+	}
+	return c
+}
+
+func payloadFor(t testing.TB, n int, seed int64) []byte {
+	t.Helper()
+	enc, err := pointcloud.EncodeQuantized(testCloud(n, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc
+}
+
+func stateAt(x, y float64) fusion.VehicleState {
+	return fusion.VehicleState{GPS: geom.V3(x, y, 0), MountHeight: 1.7}
+}
+
+func TestPublishAndAssembleRound(t *testing.T) {
+	h := New(Config{})
+	for i, d := range []float64{30, 10, 20} {
+		id := fmt.Sprintf("v%d", i+1)
+		if _, err := h.Publish(id, stateAt(d, 0), payloadFor(t, 500, int64(i+1)), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.Cached() != 3 {
+		t.Fatalf("cached = %d, want 3", h.Cached())
+	}
+
+	// Requester at the origin: nearest-first order is v2 (10), v3 (20), v1 (30).
+	round, err := h.AssembleRound("rx", geom.V3(0, 0, 0), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var order []string
+	for _, f := range round.Frames {
+		order = append(order, f.Sender)
+	}
+	if got := strings.Join(order, "+"); got != "v2+v3+v1" {
+		t.Errorf("slot order = %s, want v2+v3+v1", got)
+	}
+	if round.Plan.Senders() != 3 || round.Plan.Completion() <= 0 {
+		t.Errorf("plan: %d senders, completion %v", round.Plan.Senders(), round.Plan.Completion())
+	}
+
+	// k caps the senders.
+	round, err = h.AssembleRound("rx", geom.V3(0, 0, 0), 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(round.Frames) != 2 || round.Frames[0].Sender != "v2" {
+		t.Errorf("k=2 round = %+v", round.Frames)
+	}
+
+	// The requester's own frame is never selected.
+	if _, err := h.Publish("rx", stateAt(0, 0), payloadFor(t, 100, 9), 1); err != nil {
+		t.Fatal(err)
+	}
+	round, err = h.AssembleRound("rx", geom.V3(0, 0, 0), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range round.Frames {
+		if f.Sender == "rx" {
+			t.Error("round contains the requester's own frame")
+		}
+	}
+}
+
+func TestAssembleRoundBudget(t *testing.T) {
+	h := New(Config{})
+	for i := 0; i < 3; i++ {
+		id := fmt.Sprintf("v%d", i+1)
+		if _, err := h.Publish(id, stateAt(float64(10*(i+1)), 0), payloadFor(t, 4000, int64(i+1)), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	uncapped, err := h.AssembleRound("rx", geom.V3(0, 0, 0), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cap well below the uncapped round: at 1 Hz a cap of B bits/s buys
+	// B/8 bytes per round, split across 3 senders.
+	budgetBps := uint64(uncapped.Plan.TotalBytes()) // 1/8th of uncapped volume
+	capped, err := h.AssembleRound("rx", geom.V3(0, 0, 0), 0, budgetBps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perSender := int(budgetBps) / 8 / 3
+	for _, f := range capped.Frames {
+		if len(f.Payload) > perSender {
+			t.Errorf("%s payload %d B exceeds per-sender budget %d B", f.Sender, len(f.Payload), perSender)
+		}
+		if _, err := pointcloud.Decode(f.Payload); err != nil {
+			t.Errorf("%s budget-fitted payload does not decode: %v", f.Sender, err)
+		}
+	}
+	if capped.Plan.TotalBytes() >= uncapped.Plan.TotalBytes() {
+		t.Errorf("capped round (%d B) not smaller than uncapped (%d B)",
+			capped.Plan.TotalBytes(), uncapped.Plan.TotalBytes())
+	}
+
+	// Determinism: the same request assembles the same round.
+	again, err := h.AssembleRound("rx", geom.V3(0, 0, 0), 0, budgetBps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again.Frames) != len(capped.Frames) {
+		t.Fatal("round size changed between identical requests")
+	}
+	for i := range again.Frames {
+		if !bytes.Equal(again.Frames[i].Payload, capped.Frames[i].Payload) {
+			t.Errorf("frame %d payload differs between identical requests", i)
+		}
+	}
+}
+
+func TestPublishValidation(t *testing.T) {
+	h := New(Config{})
+	if _, err := h.Publish("", stateAt(0, 0), payloadFor(t, 10, 1), 1); err == nil {
+		t.Error("empty sender accepted")
+	}
+	if _, err := h.Publish("v1", stateAt(0, 0), []byte("not a cloud"), 1); err == nil {
+		t.Error("undecodable payload accepted")
+	}
+
+	// Latest frame wins; stale sequence numbers do not regress the cache.
+	newer := payloadFor(t, 200, 2)
+	older := payloadFor(t, 100, 3)
+	if _, err := h.Publish("v1", stateAt(0, 0), newer, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Publish("v1", stateAt(0, 0), older, 3); err != nil {
+		t.Fatal(err)
+	}
+	f, ok := h.Nearest("rx", geom.V3(0, 0, 0))
+	if !ok || !bytes.Equal(f.Payload, newer) {
+		t.Error("stale publish replaced a newer cached frame")
+	}
+}
+
+// startHub serves a hub on an ephemeral port and returns its address.
+func startHub(t *testing.T, cfg Config) (*Hub, string) {
+	t.Helper()
+	h := New(cfg)
+	l, err := network.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go h.Serve(l)
+	t.Cleanup(func() { h.Close() })
+	return h, l.Addr()
+}
+
+func TestSessionsOverTCP(t *testing.T) {
+	h, addr := startHub(t, Config{})
+
+	// First vehicle connects and publishes.
+	c1, peers, err := Connect(addr, "v1", stateAt(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	if peers != 0 {
+		t.Errorf("hello reported %d peers, want 0", peers)
+	}
+	p1 := payloadFor(t, 600, 1)
+	if cached, err := c1.Publish(stateAt(0, 0), p1); err != nil || cached != 1 {
+		t.Fatalf("publish: cached=%d err=%v", cached, err)
+	}
+
+	// A fusion request with only the requester cached yields an empty round.
+	frames, err := c1.RequestRound(stateAt(0, 0), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 0 {
+		t.Errorf("lone vehicle got %d frames, want 0", len(frames))
+	}
+
+	// Second vehicle publishes; now v1's round carries v2's frame.
+	c2, peers, err := Connect(addr, "v2", stateAt(15, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if peers != 1 {
+		t.Errorf("hello reported %d peers, want 1", peers)
+	}
+	p2 := payloadFor(t, 700, 2)
+	if cached, err := c2.Publish(stateAt(15, 0), p2); err != nil || cached != 2 {
+		t.Fatalf("publish: cached=%d err=%v", cached, err)
+	}
+	frames, err = c1.RequestRound(stateAt(0, 0), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 1 {
+		t.Fatalf("round = %d frames, want 1", len(frames))
+	}
+	if frames[0].Sender != "v2" || !bytes.Equal(frames[0].Payload, p2) {
+		t.Fatalf("round frame from %q (%d B), want v2's %d B frame", frames[0].Sender, len(frames[0].Payload), len(p2))
+	}
+
+	// v1-compat: a bare MsgROIRequest is answered with the nearest frame.
+	conn, err := network.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Send(network.Message{Type: network.MsgROIRequest, Sender: "legacy", State: stateAt(1, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := conn.Receive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Type != network.MsgFullScan || reply.Sender != "v1" {
+		t.Errorf("v1 reply: type %d from %q, want MsgFullScan from v1", reply.Type, reply.Sender)
+	}
+
+	// An undecodable publish is answered in-band and the session survives.
+	if _, err := c2.Publish(stateAt(15, 0), []byte("garbage")); err == nil {
+		t.Error("garbage publish did not error")
+	}
+	if cached, err := c2.Publish(stateAt(15, 0), p2); err != nil || cached != h.Cached() {
+		t.Errorf("session did not survive a rejected publish: %v", err)
+	}
+}
+
+// TestServeAfterClose pins the documented restart semantics: after Close
+// returns, Serve on a fresh listener resumes with the same fleet state.
+func TestServeAfterClose(t *testing.T) {
+	h := New(Config{})
+	l1, err := network.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go h.Serve(l1)
+	c1, _, err := Connect(l1.Addr(), "v1", stateAt(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Publish(stateAt(0, 0), payloadFor(t, 400, 1)); err != nil {
+		t.Fatal(err)
+	}
+	c1.Close()
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := network.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go h.Serve(l2)
+	defer h.Close()
+	c2, peers, err := Connect(l2.Addr(), "v2", stateAt(10, 0))
+	if err != nil {
+		t.Fatalf("connect after restart: %v", err)
+	}
+	defer c2.Close()
+	if peers != 1 {
+		t.Errorf("restarted hub reports %d cached vehicles, want 1 (cache should survive)", peers)
+	}
+	frames, err := c2.RequestRound(stateAt(10, 0), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 1 || frames[0].Sender != "v1" {
+		t.Errorf("restarted hub round = %+v, want v1's pre-restart frame", frames)
+	}
+}
+
+// TestConcurrentSessions hammers one hub from many client goroutines; run
+// with -race this is the data-race check for the serving layer.
+func TestConcurrentSessions(t *testing.T) {
+	h, addr := startHub(t, Config{})
+	const vehicles = 8
+	const rounds = 5
+
+	var wg sync.WaitGroup
+	errs := make([]error, vehicles)
+	for i := 0; i < vehicles; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := fmt.Sprintf("v%d", i+1)
+			st := stateAt(float64(10*i), 0)
+			cl, _, err := Connect(addr, id, st)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer cl.Close()
+			payload := payloadFor(t, 300+i*50, int64(i))
+			for r := 0; r < rounds; r++ {
+				if _, err := cl.Publish(st, payload); err != nil {
+					errs[i] = err
+					return
+				}
+				if _, err := cl.RequestRound(st, 3, 2_000_000); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("vehicle %d: %v", i+1, err)
+		}
+	}
+	if h.Cached() != vehicles {
+		t.Errorf("cached = %d, want %d", h.Cached(), vehicles)
+	}
+}

@@ -1,0 +1,252 @@
+package hub
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"cooper/internal/core"
+	"cooper/internal/network"
+	"cooper/internal/parallel"
+	"cooper/internal/roi"
+	"cooper/internal/scene"
+)
+
+// SelfTestOptions parameterises a single-process hub exercise.
+type SelfTestOptions struct {
+	// Family is the generated scenario family (default platoon).
+	Family string
+	// Fleet is the number of in-process clients, 2..scene.MaxFleet.
+	Fleet int
+	// Seed fixes world generation and sensing noise.
+	Seed int64
+	// Traffic overrides the family's ambient car count when > 0.
+	Traffic int
+	// Workers bounds the client fan-out goroutines (< 1 = one per CPU).
+	// The report is byte-identical at any worker count.
+	Workers int
+	// BandwidthMbps, when > 0, is each client's advertised sustained
+	// cap in Mbit/s; the hub fits round payloads under it.
+	BandwidthMbps float64
+	// MaxSenders caps the senders each client requests (0 = everyone
+	// else in the fleet).
+	MaxSenders int
+}
+
+// selfReport is one client's deterministic round outcome.
+type selfReport struct {
+	id          string
+	senders     []string
+	payloadSum  int
+	plan        network.Plan
+	single      core.TruthStats
+	coop        core.TruthStats
+	categories  map[roi.Category]int
+	downsampled int
+}
+
+// SelfTest spins up a hub plus an in-process fleet of TCP clients from a
+// generated scenario and writes a fused precision/recall and modelled
+// per-round-latency report. Every figure in the report is derived from
+// seeded sensing, deterministic payload selection and the DSRC schedule
+// model — never from wall-clock — so the output is byte-identical across
+// runs and worker counts.
+func SelfTest(w io.Writer, opts SelfTestOptions) error {
+	if opts.Family == "" {
+		opts.Family = string(scene.FamilyPlatoon)
+	}
+	fam, ok := scene.ParseFamily(opts.Family)
+	if !ok {
+		return fmt.Errorf("hub: unknown scenario family %q (families: %v)", opts.Family, scene.Families())
+	}
+	if opts.Fleet < 2 {
+		return fmt.Errorf("hub: selftest needs a fleet of at least 2, got %d", opts.Fleet)
+	}
+	sc, err := scene.Generate(scene.GenParams{Family: fam, Fleet: opts.Fleet, Seed: opts.Seed, Traffic: opts.Traffic})
+	if err != nil {
+		return err
+	}
+
+	h := New(Config{MaxSenders: scene.MaxFleet})
+	l, err := network.Listen("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go h.Serve(l)
+	defer h.Close()
+
+	budgetBps := uint64(opts.BandwidthMbps * 1e6)
+	k := opts.MaxSenders
+	if k <= 0 || k > opts.Fleet-1 {
+		k = opts.Fleet - 1
+	}
+
+	// Phase 1 — every vehicle senses and publishes its frame. The barrier
+	// between the phases makes the cache contents (and therefore every
+	// round) independent of client scheduling.
+	type stClient struct {
+		cl *Client
+		v  *core.Vehicle
+	}
+	clients, err := parallel.MapErr(opts.Workers, opts.Fleet, func(i int) (stClient, error) {
+		v := core.PoseVehicle(sc, i).SetWorkers(1)
+		v.Sense(sc.Scene.Targets(), sc.Scene.GroundZ)
+		pkg, err := v.PreparePackage(nil)
+		if err != nil {
+			return stClient{}, err
+		}
+		cl, _, err := Connect(l.Addr(), v.ID, v.State())
+		if err != nil {
+			return stClient{}, err
+		}
+		if _, err := cl.Publish(v.State(), pkg.Payload); err != nil {
+			cl.Close()
+			return stClient{}, err
+		}
+		return stClient{cl: cl, v: v}, nil
+	})
+	defer func() {
+		for _, c := range clients {
+			if c.cl != nil {
+				c.cl.Close()
+			}
+		}
+	}()
+	if err != nil {
+		return err
+	}
+
+	// Phase 2 — every vehicle requests a fusion round and detects on the
+	// merge. Rounds read the now-immutable cache, so outcomes depend only
+	// on the scenario, the budget and k.
+	poseOf := make(map[string]int, len(sc.PoseLabels))
+	for i, label := range sc.PoseLabels {
+		poseOf[label] = i
+	}
+	// Every round carries k frames under the same budget, so each
+	// sender's payload-selection rung is the same in every round: derive
+	// it once per vehicle here rather than per (receiver, sender) pair.
+	selections := make(map[string]roi.Selection, opts.Fleet)
+	for _, label := range sc.PoseLabels {
+		sel, err := selectionFor(h, label, k, budgetBps)
+		if err != nil {
+			return err
+		}
+		selections[label] = sel
+	}
+	reports, err := parallel.MapErr(opts.Workers, opts.Fleet, func(i int) (selfReport, error) {
+		c := clients[i]
+		frames, err := c.cl.RequestRound(c.v.State(), k, budgetBps)
+		if err != nil {
+			return selfReport{}, err
+		}
+		rep := selfReport{id: c.v.ID, categories: make(map[roi.Category]int)}
+
+		singles, _, err := c.v.Detect()
+		if err != nil {
+			return selfReport{}, err
+		}
+		rep.single = core.EvaluateDetections(sc, i, nil, singles)
+
+		pkgs := make([]core.ExchangePackage, 0, len(frames))
+		sizes := make([]int, 0, len(frames))
+		participants := []int{i}
+		for _, f := range frames {
+			rep.senders = append(rep.senders, f.Sender)
+			rep.payloadSum += len(f.Payload)
+			sizes = append(sizes, len(f.Payload))
+			pkgs = append(pkgs, core.ExchangePackage{SenderID: f.Sender, State: f.State, Payload: f.Payload})
+			p, ok := poseOf[f.Sender]
+			if !ok {
+				return selfReport{}, fmt.Errorf("hub: round frame from unknown vehicle %q", f.Sender)
+			}
+			participants = append(participants, p)
+			sel := selections[f.Sender]
+			rep.categories[sel.Category]++
+			if sel.Downsampled {
+				rep.downsampled++
+			}
+		}
+		coopDets, _, err := c.v.CooperativeDetect(pkgs...)
+		if err != nil {
+			return selfReport{}, err
+		}
+		rep.coop = core.EvaluateDetections(sc, i, participants, coopDets)
+		rep.plan = h.cfg.Scheduler.Plan(sizes)
+		return rep, nil
+	})
+	if err != nil {
+		return err
+	}
+
+	printSelfTest(w, sc, opts, k, budgetBps, reports)
+	return nil
+}
+
+// selectionFor reports the payload-selection rung the hub used for one
+// sender in a round of n frames under the given cap.
+func selectionFor(h *Hub, sender string, n int, budgetBps uint64) (roi.Selection, error) {
+	h.mu.RLock()
+	f := h.frames[sender]
+	h.mu.RUnlock()
+	if f == nil {
+		return roi.Selection{}, fmt.Errorf("hub: no cached frame for %s", sender)
+	}
+	if budgetBps == 0 {
+		return roi.Selection{Payload: f.payload, Category: roi.CategoryFullFrame, Points: f.cloud.Len()}, nil
+	}
+	roundBytes := float64(budgetBps) / 8 / h.cfg.Scheduler.RateHz
+	perSender := int(roundBytes) / n
+	if perSender < 1 {
+		perSender = 1
+	}
+	return roi.SelectPayload(f.cloud, perSender)
+}
+
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+
+func printSelfTest(w io.Writer, sc *scene.Scenario, opts SelfTestOptions, k int, budgetBps uint64, reports []selfReport) {
+	budget := "uncapped"
+	if budgetBps > 0 {
+		budget = fmt.Sprintf("%.2f Mbit/s", float64(budgetBps)/1e6)
+	}
+	fmt.Fprintf(w, "selftest %s fleet=%d seed=%d k=%d budget=%s\n",
+		opts.Family, opts.Fleet, opts.Seed, k, budget)
+	fmt.Fprintf(w, "scenario %s: %d-beam LiDAR, %d poses, %d ground-truth cars\n",
+		sc.Name, sc.LiDAR.BeamCount(), len(sc.Poses), len(sc.Scene.Cars()))
+
+	var singleR, coopR, fits float64
+	var maxLatency string
+	var maxCompletion int64
+	for _, r := range reports {
+		cats := make([]string, 0, 2)
+		for _, cat := range []roi.Category{roi.CategoryFullFrame, roi.CategoryFrontFOV, roi.CategoryLeadView} {
+			if n := r.categories[cat]; n > 0 {
+				cats = append(cats, fmt.Sprintf("%d× cat%d", n, cat))
+			}
+		}
+		catNote := strings.Join(cats, ", ")
+		if r.downsampled > 0 {
+			catNote += fmt.Sprintf(" (%d downsampled)", r.downsampled)
+		}
+		fmt.Fprintf(w, "\nround %s: fuses %s | %d KB | latency %v | load %.2f Mbit/s (util %.0f%%, fits %v) | %s\n",
+			r.id, strings.Join(r.senders, "+"), r.payloadSum/1024,
+			r.plan.Completion(), r.plan.MbitPerSecond(), 100*r.plan.Utilization(), r.plan.Fits(), catNote)
+		fmt.Fprintf(w, "  single-shot P=%s R=%s   cooper P=%s R=%s\n",
+			pct(r.single.Precision()), pct(r.single.Recall()),
+			pct(r.coop.Precision()), pct(r.coop.Recall()))
+
+		singleR += r.single.Recall()
+		coopR += r.coop.Recall()
+		if r.plan.Fits() {
+			fits++
+		}
+		if c := r.plan.Completion(); int64(c) >= maxCompletion {
+			maxCompletion = int64(c)
+			maxLatency = fmt.Sprint(c)
+		}
+	}
+	n := float64(len(reports))
+	fmt.Fprintf(w, "\nfleet mean: single recall %s -> cooper recall %s | worst round latency %s | channel fits %d/%d\n",
+		pct(singleR/n), pct(coopR/n), maxLatency, int(fits), len(reports))
+}

@@ -1,0 +1,64 @@
+package hub
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestSelfTestDeterministic is the acceptance property behind
+// `coopernode -selftest`: the report is byte-identical across runs and
+// across worker counts.
+func TestSelfTestDeterministic(t *testing.T) {
+	run := func(workers int) string {
+		var buf bytes.Buffer
+		err := SelfTest(&buf, SelfTestOptions{Fleet: 3, Seed: 5, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	seq := run(1)
+	if seq == "" {
+		t.Fatal("empty selftest report")
+	}
+	if again := run(1); again != seq {
+		t.Errorf("selftest not deterministic across runs:\n--- first\n%s\n--- second\n%s", seq, again)
+	}
+	if par := run(4); par != seq {
+		t.Errorf("selftest differs across worker counts:\n--- workers=1\n%s\n--- workers=4\n%s", seq, par)
+	}
+
+	for _, want := range []string{"selftest platoon fleet=3 seed=5", "round v1", "round v3", "fleet mean", "cooper"} {
+		if !strings.Contains(seq, want) {
+			t.Errorf("report missing %q:\n%s", want, seq)
+		}
+	}
+}
+
+// TestSelfTestBudget exercises the bandwidth-capped path: the capped
+// report must show smaller rounds than the uncapped one.
+func TestSelfTestBudget(t *testing.T) {
+	var uncapped, capped bytes.Buffer
+	if err := SelfTest(&uncapped, SelfTestOptions{Fleet: 2, Seed: 3, Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := SelfTest(&capped, SelfTestOptions{Fleet: 2, Seed: 3, Workers: 1, BandwidthMbps: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if capped.String() == uncapped.String() {
+		t.Error("bandwidth cap did not change the report")
+	}
+	if !strings.Contains(capped.String(), "0.50 Mbit/s") {
+		t.Errorf("capped report does not mention the cap:\n%s", capped.String())
+	}
+}
+
+func TestSelfTestValidation(t *testing.T) {
+	if err := SelfTest(nil, SelfTestOptions{Fleet: 1, Seed: 1}); err == nil {
+		t.Error("fleet of 1 accepted")
+	}
+	if err := SelfTest(nil, SelfTestOptions{Fleet: 4, Seed: 1, Family: "nope"}); err == nil {
+		t.Error("unknown family accepted")
+	}
+}

@@ -22,6 +22,35 @@ const (
 	MsgROIRequest
 )
 
+// Protocol-v2 message types, used by the fleet-hub session protocol. A
+// v2 message carries three extra fixed fields (Budget, Count, Seq) after
+// the v1 header; v1 peers never see these types.
+const (
+	// MsgHello opens a hub session: the vehicle announces its identity
+	// and GPS/IMU state. The hub acknowledges with its own MsgHello
+	// whose Count reports the number of cached frames.
+	MsgHello MsgType = iota + 16
+	// MsgFrame publishes (client→hub) or delivers (hub→client) one
+	// vehicle frame: sender state plus the encoded cloud. Seq orders a
+	// vehicle's successive frames on publish and carries the broadcast
+	// slot index on delivery. The hub acknowledges a publish with an
+	// empty MsgFrame echoing Seq, Count = frames now cached.
+	MsgFrame
+	// MsgFuseRequest asks the hub for a fused round: up to Count sender
+	// frames assembled for the requester, selected nearest-first, with
+	// payloads fitted to the Budget bandwidth cap (bits/s, 0 = none).
+	MsgFuseRequest
+	// MsgFuseReply announces a fusion round: Count MsgFrame messages
+	// follow, one per scheduled sender slot.
+	MsgFuseReply
+	// MsgError reports a session error; the text rides in Payload.
+	MsgError
+)
+
+// V2 reports whether the type belongs to the hub session protocol and is
+// therefore framed with the version-2 wire layout.
+func (t MsgType) V2() bool { return t >= MsgHello }
+
 // Message is one Cooper exchange unit on the wire: the sender's identity
 // and GPS/IMU state plus either a point-cloud payload (shares) or a
 // requested region (requests).
@@ -34,6 +63,20 @@ type Message struct {
 	// Region is the requested area for MsgROIRequest, in world
 	// coordinates.
 	Region geom.AABB
+
+	// The fields below exist only in protocol v2 (the hub session
+	// protocol); encoding a v1 message type with any of them set fails.
+
+	// Budget is a bandwidth cap in bits per second (0 = uncapped). A
+	// client advertises it on MsgFuseRequest; the hub fits the round's
+	// payloads under it.
+	Budget uint64
+	// Count is a small cardinality: requested senders on MsgFuseRequest,
+	// following frames on MsgFuseReply, cached frames on acks.
+	Count uint32
+	// Seq is a sequence number: frame generation on publish, broadcast
+	// slot index on delivery.
+	Seq uint64
 }
 
 // Wire format errors.
@@ -48,20 +91,35 @@ const MaxMessageSize = 16 << 20
 
 var messageMagic = [4]byte{'C', 'P', 'M', 'X'}
 
-const headerFixed = 4 + 1 + 1 + 2 // magic, version, type, sender length
+const (
+	headerFixed = 4 + 1 + 1 + 2 // magic, version, type, sender length
+	v2Extra     = 8 + 4 + 8     // budget, count, seq
+)
 
-// EncodeMessage serialises a message.
+// EncodeMessage serialises a message. The wire version is chosen from the
+// message type: hub-protocol types use version 2 (which appends the
+// Budget/Count/Seq trailer), everything else stays byte-compatible with
+// version 1.
 func EncodeMessage(m Message) ([]byte, error) {
 	if len(m.Sender) > 65535 {
 		return nil, fmt.Errorf("%w: sender name too long", ErrBadMessage)
 	}
+	version := byte(1)
+	if m.Type.V2() {
+		version = 2
+	} else if m.Budget != 0 || m.Count != 0 || m.Seq != 0 {
+		return nil, fmt.Errorf("%w: v2 fields set on v1 message type %d", ErrBadMessage, m.Type)
+	}
 	size := headerFixed + len(m.Sender) + 7*8 + 4 + len(m.Payload) + 6*8
+	if version == 2 {
+		size += v2Extra
+	}
 	if size > MaxMessageSize {
 		return nil, ErrTooBig
 	}
 	buf := make([]byte, 0, size)
 	buf = append(buf, messageMagic[:]...)
-	buf = append(buf, 1, byte(m.Type))
+	buf = append(buf, version, byte(m.Type))
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(m.Sender)))
 	buf = append(buf, m.Sender...)
 	for _, f := range []float64{
@@ -75,6 +133,11 @@ func EncodeMessage(m Message) ([]byte, error) {
 		m.Region.Max.X, m.Region.Max.Y, m.Region.Max.Z,
 	} {
 		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
+	}
+	if version == 2 {
+		buf = binary.LittleEndian.AppendUint64(buf, m.Budget)
+		buf = binary.LittleEndian.AppendUint32(buf, m.Count)
+		buf = binary.LittleEndian.AppendUint64(buf, m.Seq)
 	}
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Payload)))
 	buf = append(buf, m.Payload...)
@@ -90,13 +153,18 @@ func DecodeMessage(data []byte) (Message, error) {
 	if [4]byte(data[:4]) != messageMagic {
 		return m, fmt.Errorf("%w: bad magic", ErrBadMessage)
 	}
-	if data[4] != 1 {
-		return m, fmt.Errorf("%w: unsupported version %d", ErrBadMessage, data[4])
+	version := data[4]
+	if version != 1 && version != 2 {
+		return m, fmt.Errorf("%w: unsupported version %d", ErrBadMessage, version)
 	}
 	m.Type = MsgType(data[5])
 	senderLen := int(binary.LittleEndian.Uint16(data[6:]))
 	off := headerFixed
-	if len(data) < off+senderLen+13*8+4 {
+	fixed := senderLen + 13*8 + 4
+	if version == 2 {
+		fixed += v2Extra
+	}
+	if len(data) < off+fixed {
 		return m, fmt.Errorf("%w: truncated", ErrBadMessage)
 	}
 	m.Sender = string(data[off : off+senderLen])
@@ -111,6 +179,12 @@ func DecodeMessage(data []byte) (Message, error) {
 	m.State.MountHeight = read()
 	m.Region.Min = geom.V3(read(), read(), read())
 	m.Region.Max = geom.V3(read(), read(), read())
+	if version == 2 {
+		m.Budget = binary.LittleEndian.Uint64(data[off:])
+		m.Count = binary.LittleEndian.Uint32(data[off+8:])
+		m.Seq = binary.LittleEndian.Uint64(data[off+12:])
+		off += v2Extra
+	}
 	payloadLen := int(binary.LittleEndian.Uint32(data[off:]))
 	off += 4
 	if payloadLen > MaxMessageSize {

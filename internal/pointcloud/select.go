@@ -1,0 +1,32 @@
+package pointcloud
+
+// DownsampleTo returns a cloud of at most n points chosen by even stride
+// over the original point order. Selection is purely index-based, so the
+// same cloud and n always yield the same points — the determinism the
+// hub's bandwidth-fitted payload selection relies on. n <= 0 yields an
+// empty cloud; n >= Len returns a clone.
+func (c *Cloud) DownsampleTo(n int) *Cloud {
+	if n <= 0 {
+		return &Cloud{}
+	}
+	if n >= c.Len() {
+		return c.Clone()
+	}
+	out := &Cloud{pts: make([]Point, n)}
+	// Index i of the output samples position i*Len/n: monotonic, never
+	// repeats (n < Len), and spans the whole scan.
+	for i := 0; i < n; i++ {
+		out.pts[i] = c.pts[i*c.Len()/n]
+	}
+	return out
+}
+
+// MaxQuantizedPoints returns how many points a quantized encoding can
+// carry within the given wire-size budget — the sizing primitive for
+// bandwidth-capped payload selection. Budgets below one header yield 0.
+func MaxQuantizedPoints(budgetBytes int) int {
+	if budgetBytes <= quantHeaderSize {
+		return 0
+	}
+	return (budgetBytes - quantHeaderSize) / quantPointSize
+}

@@ -1,0 +1,81 @@
+package pointcloud
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestDownsampleTo(t *testing.T) {
+	c := randomCloud(1000, 1)
+	tests := []struct {
+		n    int
+		want int
+	}{
+		{-1, 0},
+		{0, 0},
+		{1, 1},
+		{333, 333},
+		{1000, 1000},
+		{5000, 1000},
+	}
+	for _, tc := range tests {
+		got := c.DownsampleTo(tc.n)
+		if got.Len() != tc.want {
+			t.Errorf("DownsampleTo(%d).Len() = %d, want %d", tc.n, got.Len(), tc.want)
+		}
+	}
+
+	// Deterministic: same input, same selection.
+	a, b := c.DownsampleTo(250), c.DownsampleTo(250)
+	if !reflect.DeepEqual(a.Points(), b.Points()) {
+		t.Error("DownsampleTo is not deterministic")
+	}
+
+	// Every kept point exists in the original, in original order.
+	sub := c.DownsampleTo(100)
+	last := -1
+	for i := 0; i < sub.Len(); i++ {
+		found := -1
+		for j := last + 1; j < c.Len(); j++ {
+			if c.At(j) == sub.At(i) {
+				found = j
+				break
+			}
+		}
+		if found < 0 {
+			t.Fatalf("downsampled point %d not found after index %d", i, last)
+		}
+		last = found
+	}
+}
+
+func TestMaxQuantizedPoints(t *testing.T) {
+	tests := []struct {
+		budget int
+		want   int
+	}{
+		{0, 0},
+		{quantHeaderSize, 0},
+		{quantHeaderSize + quantPointSize - 1, 0},
+		{quantHeaderSize + quantPointSize, 1},
+		{quantHeaderSize + 10*quantPointSize + 3, 10},
+	}
+	for _, tc := range tests {
+		if got := MaxQuantizedPoints(tc.budget); got != tc.want {
+			t.Errorf("MaxQuantizedPoints(%d) = %d, want %d", tc.budget, got, tc.want)
+		}
+	}
+
+	// Round-trip against the encoder: a cloud downsampled to the budget's
+	// point count must encode within the budget.
+	c := randomCloud(500, 2)
+	budget := 1000
+	n := MaxQuantizedPoints(budget)
+	enc, err := EncodeQuantized(c.DownsampleTo(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc) > budget {
+		t.Errorf("budgeted encoding is %d bytes, budget %d", len(enc), budget)
+	}
+}

@@ -1,0 +1,57 @@
+package roi
+
+import (
+	"cooper/internal/pointcloud"
+)
+
+// Selection is the outcome of fitting one vehicle's frame under a wire
+// budget: the encoded payload, the ROI category that produced it and how
+// much of the scan survived.
+type Selection struct {
+	// Payload is the quantized encoding actually transmitted.
+	Payload []byte
+	// Category is the ROI rung that fit: full frame when unconstrained
+	// or cheap enough, front FOV otherwise.
+	Category Category
+	// Points is the transmitted point count.
+	Points int
+	// Downsampled reports that even the front-FOV region exceeded the
+	// budget and the cloud was stride-downsampled to fit.
+	Downsampled bool
+}
+
+// SelectPayload fits a sensor-frame cloud under a per-frame wire budget
+// by walking the paper's ROI ladder, cheapest acceptable rung first:
+//
+//  1. full frame (category 1) if it fits or budgetBytes <= 0 (uncapped);
+//  2. the 120° front field of view (category 2) if that fits;
+//  3. the front FOV stride-downsampled to the budget's point capacity.
+//
+// Selection is deterministic: the same cloud and budget always produce
+// the same payload. The final rung always succeeds — a budget smaller
+// than one encoding header simply yields an empty (header-only) cloud.
+func SelectPayload(cloud *pointcloud.Cloud, budgetBytes int) (Selection, error) {
+	full, err := pointcloud.EncodeQuantized(cloud)
+	if err != nil {
+		return Selection{}, err
+	}
+	if budgetBytes <= 0 || len(full) <= budgetBytes {
+		return Selection{Payload: full, Category: CategoryFullFrame, Points: cloud.Len()}, nil
+	}
+
+	front := Extract(cloud, CategoryFrontFOV)
+	enc, err := pointcloud.EncodeQuantized(front)
+	if err != nil {
+		return Selection{}, err
+	}
+	if len(enc) <= budgetBytes {
+		return Selection{Payload: enc, Category: CategoryFrontFOV, Points: front.Len()}, nil
+	}
+
+	reduced := front.DownsampleTo(pointcloud.MaxQuantizedPoints(budgetBytes))
+	enc, err = pointcloud.EncodeQuantized(reduced)
+	if err != nil {
+		return Selection{}, err
+	}
+	return Selection{Payload: enc, Category: CategoryFrontFOV, Points: reduced.Len(), Downsampled: true}, nil
+}

@@ -1,0 +1,86 @@
+package roi
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"cooper/internal/pointcloud"
+)
+
+// budgetCloud builds a cloud with points all around the sensor so the
+// front-FOV rung genuinely shrinks it.
+func budgetCloud(n int, seed int64) *pointcloud.Cloud {
+	rng := rand.New(rand.NewSource(seed))
+	c := &pointcloud.Cloud{}
+	for i := 0; i < n; i++ {
+		az := rng.Float64()*2*math.Pi - math.Pi
+		r := 2 + rng.Float64()*40
+		c.AppendXYZR(r*math.Cos(az), r*math.Sin(az), rng.Float64()*2, rng.Float64())
+	}
+	return c
+}
+
+func TestSelectPayloadLadder(t *testing.T) {
+	c := budgetCloud(3000, 1)
+	full, err := pointcloud.EncodeQuantized(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frontLen := Extract(c, CategoryFrontFOV).Len()
+	frontBytes := pointcloud.EncodedSizeQuantized(frontLen)
+
+	tests := []struct {
+		name        string
+		budget      int
+		wantCat     Category
+		wantDown    bool
+		checkBudget bool
+	}{
+		{"uncapped", 0, CategoryFullFrame, false, false},
+		{"negative is uncapped", -5, CategoryFullFrame, false, false},
+		{"roomy", len(full) + 100, CategoryFullFrame, false, true},
+		{"exact full", len(full), CategoryFullFrame, false, true},
+		{"front fits", frontBytes + 10, CategoryFrontFOV, false, true},
+		{"downsample", frontBytes / 2, CategoryFrontFOV, true, true},
+		{"tiny", 10, CategoryFrontFOV, true, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			sel, err := SelectPayload(c, tc.budget)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sel.Category != tc.wantCat || sel.Downsampled != tc.wantDown {
+				t.Errorf("got category %v downsampled %v, want %v/%v",
+					sel.Category, sel.Downsampled, tc.wantCat, tc.wantDown)
+			}
+			if tc.checkBudget && len(sel.Payload) > tc.budget {
+				t.Errorf("payload %d bytes exceeds budget %d", len(sel.Payload), tc.budget)
+			}
+			dec, err := pointcloud.Decode(sel.Payload)
+			if err != nil {
+				t.Fatalf("selected payload does not decode: %v", err)
+			}
+			if dec.Len() != sel.Points {
+				t.Errorf("payload carries %d points, Selection reports %d", dec.Len(), sel.Points)
+			}
+		})
+	}
+}
+
+func TestSelectPayloadDeterministic(t *testing.T) {
+	c := budgetCloud(2000, 2)
+	a, err := SelectPayload(c, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SelectPayload(c, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Payload, b.Payload) {
+		t.Error("SelectPayload is not deterministic")
+	}
+}
