@@ -14,8 +14,10 @@ import (
 	"math"
 	"math/rand"
 	"testing"
+	"time"
 
 	"cooper"
+	"cooper/internal/core"
 	"cooper/internal/experiments"
 	"cooper/internal/fusion"
 	"cooper/internal/geom"
@@ -207,6 +209,68 @@ func BenchmarkHubSessionRound(b *testing.B) {
 		}
 		if len(frames) != 8 {
 			b.Fatalf("round carried %d frames, want 8", len(frames))
+		}
+	}
+}
+
+// --- Dynamic-world engine: tracking + compensation hot path ---
+//
+// The Track benchmarks are the perf-trajectory numbers for the time
+// axis: per-frame track association/smoothing, sender-side motion
+// compensation of a stale frame, and a full streamed episode (sense →
+// broadcast → compensate → fuse → detect → track). CI's track
+// bench-smoke step runs these once and records BENCH_track.json.
+
+func BenchmarkTrackStepFleet(b *testing.B) {
+	// A 12-object stream drifting at mixed velocities, stepped at 10 Hz.
+	tr := cooper.NewTracker(cooper.TrackerConfig{})
+	mkFrame := func(k int) []cooper.Detection {
+		dets := make([]cooper.Detection, 0, 12)
+		for o := 0; o < 12; o++ {
+			x := float64(o%4)*15 + float64(k)*0.1*float64(o%3)*4
+			y := float64(o/4)*8 - 8
+			dets = append(dets, cooper.Detection{
+				Box:   geom.NewBox(geom.V3(x, y, 0.78), 3.9, 1.6, 1.56, 0),
+				Score: 0.9,
+			})
+		}
+		return dets
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Step(time.Duration(i)*100*time.Millisecond, mkFrame(i))
+	}
+}
+
+func BenchmarkTrackCompensateScan(b *testing.B) {
+	sc, err := cooper.GenerateScenario(cooper.GenParams{Family: "platoon", Fleet: 4, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	scanner := lidar.NewScanner(sc.LiDAR, sc.Seed)
+	scan := scanner.ScanFrom(sc.Poses[0], sc.Scene.Targets(), sc.Scene.GroundZ)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.CompensateScan(sc, scan, sc.Poses[0], 0, 500*time.Millisecond)
+	}
+}
+
+func BenchmarkTrackEpisodePlatoon(b *testing.B) {
+	sc, err := cooper.GenerateScenario(cooper.GenParams{Family: "platoon", Fleet: 3, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	lab := cooper.NewEpisodeLab(sc) // captures amortise across iterations
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := lab.Run(cooper.EpisodeOptions{
+			Frames: 4, Hz: 2, Delay: 250 * time.Millisecond, Compensate: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Frames) != 4 {
+			b.Fatalf("episode ran %d frames, want 4", len(res.Frames))
 		}
 	}
 }

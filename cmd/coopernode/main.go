@@ -56,6 +56,8 @@ func run() error {
 	bw := flag.Float64("bw", 0, "advertised bandwidth cap, Mbit/s (0 = uncapped)")
 	k := flag.Int("k", 0, "max senders per fusion round (0 = hub default / whole fleet)")
 	workers := flag.Int("workers", 0, "selftest client fan-out goroutines (0 = one per CPU); output identical at any value")
+	frames := flag.Int("frames", 1, "selftest: stream this many frames of the moving world through the hub")
+	hz := flag.Float64("hz", 2, "selftest streaming frame rate")
 	flag.Parse()
 
 	switch {
@@ -72,6 +74,8 @@ func run() error {
 			Workers:       *workers,
 			BandwidthMbps: *bw,
 			MaxSenders:    *k,
+			Frames:        *frames,
+			Hz:            *hz,
 		})
 	case *hubAddr != "":
 		return runHub(*hubAddr)

@@ -45,6 +45,7 @@ import (
 	"cooper/internal/pointcloud"
 	"cooper/internal/scene"
 	"cooper/internal/spod"
+	"cooper/internal/track"
 )
 
 // Geometry types.
@@ -198,6 +199,44 @@ func NewFleetHub(cfg FleetHubConfig) *FleetHub { return hub.New(cfg) }
 func JoinFleetHub(addr, id string, state VehicleState) (*HubClient, int, error) {
 	return hub.Connect(addr, id, state)
 }
+
+// Dynamic-world engine: trajectories, streaming episodes and
+// latency-compensated tracking.
+type (
+	// Motion moves a scenario body: constant velocity or waypoint path.
+	Motion = scene.Motion
+	// EpisodeOptions parameterises a multi-frame episode run.
+	EpisodeOptions = core.EpisodeOptions
+	// EpisodeFrame is one fused frame's outcome.
+	EpisodeFrame = core.EpisodeFrame
+	// EpisodeResult is a full episode with temporal track metrics.
+	EpisodeResult = core.EpisodeResult
+	// EpisodeLab caches captures across episode sweeps over one scenario.
+	EpisodeLab = core.EpisodeLab
+	// Tracker follows fused detections across frames (greedy-IoU
+	// association + constant-velocity Kalman smoothing).
+	Tracker = track.Tracker
+	// TrackerConfig parameterises a Tracker.
+	TrackerConfig = track.Config
+	// Track is one tracked object.
+	Track = track.Track
+	// TemporalStats summarises an episode's tracking quality.
+	TemporalStats = eval.TemporalStats
+)
+
+// RunEpisode plays a multi-frame episode over a (dynamic) scenario:
+// per-frame sensing, scheduled DSRC broadcast, latency-compensated
+// fusion and tracking.
+func RunEpisode(sc *Scenario, opts EpisodeOptions) (*EpisodeResult, error) {
+	return core.RunEpisode(sc, opts)
+}
+
+// NewEpisodeLab prepares a capture-caching episode runner for sweeps.
+func NewEpisodeLab(sc *Scenario) *EpisodeLab { return core.NewEpisodeLab(sc) }
+
+// NewTracker builds a detection tracker; zero config fields take
+// defaults tuned for car-sized objects at cooperative frame rates.
+func NewTracker(cfg TrackerConfig) *Tracker { return track.New(cfg) }
 
 // GPS drift regimes of the Fig. 10 robustness experiment.
 const (

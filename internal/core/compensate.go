@@ -1,0 +1,67 @@
+package core
+
+import (
+	"time"
+
+	"cooper/internal/geom"
+	"cooper/internal/lidar"
+	"cooper/internal/pointcloud"
+	"cooper/internal/scene"
+)
+
+// CompensateScan ego-motion-corrects a stale frame: every return that
+// came from a moving scene object is advanced along that object's
+// trajectory from the capture time to the consumption time, while ground
+// and static-structure returns stay put. The input scan is in the sensor
+// frame of capturePose (the sensing vehicle's world pose at capture);
+// the output cloud is in that same frame, so the ordinary GPS/IMU
+// alignment (Eq. 3) with capture-time states lands every compensated
+// point at its consumption-time world position.
+//
+// This is the sender-side half of latency-compensated fusion. The sender
+// owns the per-point object association (Scan.ObjIDs — the wire codec
+// does not carry it) and the broadcast schedule tells it when its frame
+// will be consumed, so it warps its own frame before encoding. The
+// simulation reads exact object velocities from the scenario's motion
+// table; a real system would estimate the same per-object flow from its
+// own track layer — the schedule-targeted warp is the modelled
+// mechanism either way.
+//
+// A zero staleness (to == from), a stationary world or an all-static
+// cloud returns the points unchanged.
+func CompensateScan(sc *scene.Scenario, scan lidar.Scan, capturePose geom.Transform, from, to time.Duration) *pointcloud.Cloud {
+	cloud := scan.Cloud
+	if cloud.Len() == 0 || to == from || !sc.Dynamic() {
+		return cloud.Clone()
+	}
+
+	toSensor := lidar.SensorTransform(capturePose, sc.LiDAR.MountHeight)
+	toWorld := toSensor.Inverse()
+
+	// One world-frame rigid delta per moving object present in the scan,
+	// conjugated into the sensor frame so each point needs a single
+	// transform application.
+	inFrame := make(map[int32]geom.Transform)
+	for id := range scan.HitsPerObject {
+		m := sc.ObjectMotion(id)
+		if m.IsZero() {
+			continue
+		}
+		inFrame[int32(id)] = toSensor.Compose(m.Delta(from, to)).Compose(toWorld)
+	}
+	if len(inFrame) == 0 {
+		return cloud.Clone()
+	}
+
+	out := pointcloud.New(cloud.Len())
+	for i := 0; i < cloud.Len(); i++ {
+		p := cloud.At(i)
+		if tr, ok := inFrame[scan.ObjIDs[i]]; ok {
+			v := tr.Apply(p.Pos())
+			out.AppendXYZR(v.X, v.Y, v.Z, p.Reflectance)
+		} else {
+			out.AppendXYZR(p.X, p.Y, p.Z, p.Reflectance)
+		}
+	}
+	return out
+}

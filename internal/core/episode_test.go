@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"cooper/internal/geom"
+	"cooper/internal/lidar"
+	"cooper/internal/pointcloud"
+	"cooper/internal/scene"
+)
+
+// compScenario builds a minimal dynamic world for compensation tests:
+// one moving car, one stationary car, a tree, and a two-pose fleet.
+func compScenario() *scene.Scenario {
+	sc := &scene.Scenario{
+		Name:    "comp-test",
+		Dataset: scene.DatasetTJ,
+		LiDAR:   lidar.VLP16(),
+		Scene:   scene.New(),
+		Seed:    42,
+	}
+	moving := sc.Scene.AddCar(12, 0, 0)
+	sc.Scene.AddCar(8, -4, 0) // stationary
+	sc.Scene.AddTree(6, 5)
+	sc.SetObjectMotion(moving, scene.ConstVelocity(5, 0))
+	sc.Poses = []geom.Transform{scene.VehiclePose(0, 0, 0), scene.VehiclePose(4, 2, 0)}
+	sc.PoseLabels = []string{"v1", "v2"}
+	sc.PoseMotions = []scene.Motion{scene.ConstVelocity(3, 0), scene.ConstVelocity(3, 0)}
+	sc.Cases = []scene.CoopCase{{Name: "v1+v2", I: 0, J: 1}}
+	return sc
+}
+
+// senseAt captures pose 0 of the scenario at time t.
+func senseAt(sc *scene.Scenario, t time.Duration) (lidar.Scan, geom.Transform) {
+	snap := sc.At(t)
+	pose := snap.Poses[0]
+	scanner := lidar.NewScanner(sc.LiDAR, sc.Seed)
+	return scanner.ScanFrom(pose, snap.Scene.Targets(), snap.Scene.GroundZ), pose
+}
+
+// cloudsEqual reports whether two clouds match point for point.
+func cloudsEqual(a, b *pointcloud.Cloud) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.At(i) != b.At(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCompensateScanEdges drives the compensation through its edge
+// cases: zero staleness, a stationary world, and points on static
+// structures must all pass through untouched.
+func TestCompensateScanEdges(t *testing.T) {
+	sc := compScenario()
+	scan, pose := senseAt(sc, 0)
+	if scan.Cloud.Len() == 0 {
+		t.Fatal("empty test scan")
+	}
+
+	t.Run("zero dt", func(t *testing.T) {
+		out := CompensateScan(sc, scan, pose, time.Second, time.Second)
+		if !cloudsEqual(out, scan.Cloud) {
+			t.Error("zero staleness must leave the cloud unchanged")
+		}
+	})
+
+	t.Run("static world", func(t *testing.T) {
+		static := compScenario()
+		static.Motions = nil
+		static.PoseMotions = nil
+		sscan, spose := senseAt(static, 0)
+		out := CompensateScan(static, sscan, spose, 0, time.Second)
+		if !cloudsEqual(out, sscan.Cloud) {
+			t.Error("a stationary world must compensate to itself")
+		}
+	})
+
+	t.Run("static points untouched moving points advanced", func(t *testing.T) {
+		const dt = 500 * time.Millisecond
+		out := CompensateScan(sc, scan, pose, 0, dt)
+		if out.Len() != scan.Cloud.Len() {
+			t.Fatalf("compensation changed the point count: %d != %d", out.Len(), scan.Cloud.Len())
+		}
+		movingID := int32(0) // first object added
+		moved, kept := 0, 0
+		for i := 0; i < out.Len(); i++ {
+			a, b := scan.Cloud.At(i), out.At(i)
+			if scan.ObjIDs[i] == movingID {
+				// The moving car does 5 m/s along +x; the pose is yaw 0,
+				// so in the sensor frame the shift is +x by 2.5 m.
+				if math.Abs(b.X-a.X-2.5) > 1e-9 || math.Abs(b.Y-a.Y) > 1e-9 {
+					t.Fatalf("point %d on moving car shifted by (%g, %g), want (2.5, 0)", i, b.X-a.X, b.Y-a.Y)
+				}
+				moved++
+			} else {
+				if a != b {
+					t.Fatalf("point %d on static geometry moved", i)
+				}
+				kept++
+			}
+		}
+		if moved == 0 || kept == 0 {
+			t.Fatalf("degenerate scan: %d moving, %d static points", moved, kept)
+		}
+	})
+}
+
+// TestEpisodeDeterminism locks episode output across worker counts: the
+// per-frame rows and the temporal metrics must be byte-identical whether
+// frames run sequentially or fan out. Run under -race this also proves
+// the capture cache and the parallel frame evaluation share safely.
+func TestEpisodeDeterminism(t *testing.T) {
+	sc, err := scene.Generate(scene.GenParams{Family: scene.FamilyPlatoon, Fleet: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func(workers int, lab *EpisodeLab) string {
+		res, err := lab.Run(EpisodeOptions{
+			Frames: 4, Hz: 2, Delay: 250 * time.Millisecond,
+			Compensate: true, Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := ""
+		for _, f := range res.Frames {
+			out += fmt.Sprintf("%d %v %d %v %v %d %d %+v %+v\n",
+				f.Index, f.At, f.SenderFrame, f.Staleness, f.RoundLatency,
+				f.Senders, f.PayloadBytes, f.Single, f.Coop)
+		}
+		out += fmt.Sprintf("%+v tracks=%d", res.Temporal, res.Tracks)
+		return out
+	}
+	seq := render(1, NewEpisodeLab(sc))
+	for _, workers := range []int{4, 0} {
+		if got := render(workers, NewEpisodeLab(sc)); got != seq {
+			t.Errorf("episode output diverges at workers=%d:\nsequential:\n%s\ngot:\n%s", workers, seq, got)
+		}
+	}
+	// A shared lab (the sweep path) must agree with fresh labs too.
+	if got := render(0, NewEpisodeLab(sc)); got != seq {
+		t.Errorf("shared-lab episode output diverges from sequential")
+	}
+}
+
+// TestEpisodeWarmup checks the first frame of a delayed episode falls
+// back to the single shot: no round has cleared the channel yet.
+func TestEpisodeWarmup(t *testing.T) {
+	sc, err := scene.Generate(scene.GenParams{Family: scene.FamilyPlatoon, Fleet: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunEpisode(sc, EpisodeOptions{Frames: 2, Hz: 2, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f0 := res.Frames[0]
+	if f0.SenderFrame != -1 || f0.Senders != 0 || f0.Staleness != 0 {
+		t.Errorf("frame 0 should be warm-up, got %+v", f0)
+	}
+	if f0.Coop != f0.Single {
+		t.Errorf("warm-up coop must equal single shot: %+v vs %+v", f0.Coop, f0.Single)
+	}
+	if res.Frames[1].SenderFrame != 0 || res.Frames[1].Senders != 1 {
+		t.Errorf("frame 1 should fuse round 0, got %+v", res.Frames[1])
+	}
+}
+
+// TestEpisodeRejectsBadOptions pins the error paths.
+func TestEpisodeRejectsBadOptions(t *testing.T) {
+	sc, err := scene.Generate(scene.GenParams{Family: scene.FamilyPlatoon, Fleet: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunEpisode(sc, EpisodeOptions{Frames: 0}); err == nil {
+		t.Error("zero frames must error")
+	}
+	if _, err := RunEpisode(sc, EpisodeOptions{Frames: 1, Case: 5}); err == nil {
+		t.Error("out-of-range case must error")
+	}
+	lone, err := scene.Generate(scene.GenParams{Family: scene.FamilyPlatoon, Fleet: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunEpisode(lone, EpisodeOptions{Frames: 1}); err == nil {
+		t.Error("single-vehicle scenario has no cooperative case and must error")
+	}
+}

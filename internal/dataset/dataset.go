@@ -20,6 +20,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"time"
 
 	"cooper/internal/geom"
 	"cooper/internal/lidar"
@@ -36,6 +37,11 @@ type Meta struct {
 	FrameCount int      `json:"frame_count"`
 	PoseLabels []string `json:"pose_labels"`
 	Seed       int64    `json:"seed"`
+	// Timesteps and Hz describe an episode render: FrameCount =
+	// Timesteps × poses, files numbered timestep-major. A static render
+	// has Timesteps 1 and Hz 0.
+	Timesteps int     `json:"timesteps,omitempty"`
+	Hz        float64 `json:"hz,omitempty"`
 }
 
 // GroundTruthBox is a labelled car in world coordinates.
@@ -56,7 +62,8 @@ func (g GroundTruthBox) Box() geom.Box {
 }
 
 // Label is the per-frame sidecar: the capturing vehicle's state and the
-// scene ground truth.
+// scene ground truth — at the frame's capture time for episode renders,
+// so every timestep carries the world as the sensor saw it.
 type Label struct {
 	PoseLabel   string           `json:"pose_label"`
 	GPS         [3]float64       `json:"gps"`
@@ -65,6 +72,10 @@ type Label struct {
 	Roll        float64          `json:"roll"`
 	MountHeight float64          `json:"mount_height"`
 	Cars        []GroundTruthBox `json:"cars"`
+	// Timestep and TimeMS place the frame on the episode timeline (both
+	// zero in a static render).
+	Timestep int   `json:"timestep"`
+	TimeMS   int64 `json:"time_ms"`
 }
 
 // Frame is one loaded dataset entry.
@@ -74,8 +85,28 @@ type Frame struct {
 	Label Label
 }
 
-// Generate renders a scenario to disk: one frame per pose.
+// Generate renders a scenario to disk: one frame per pose, the world
+// frozen at t = 0.
 func Generate(sc *scene.Scenario, root string) error {
+	return GenerateEpisode(sc, root, 1, 0)
+}
+
+// GenerateEpisode renders a dynamic scenario as an episode: timesteps
+// samples of the moving world at the given frame rate, one file per
+// (timestep, pose), numbered timestep-major — timestep t's poses occupy
+// indices t×P … t×P+P-1. Each label carries the frame's timeline
+// position and the ground truth as it stood at capture time. A single
+// timestep reproduces the static render exactly.
+func GenerateEpisode(sc *scene.Scenario, root string, timesteps int, hz float64) error {
+	if timesteps < 1 {
+		return fmt.Errorf("dataset: episode needs at least 1 timestep, got %d", timesteps)
+	}
+	if timesteps > 1 && hz <= 0 {
+		return fmt.Errorf("dataset: multi-timestep episode needs a positive frame rate, got %g", hz)
+	}
+	if timesteps == 1 {
+		hz = 0 // a single timestep is a static render: no frame rate
+	}
 	dir := filepath.Join(root, sanitize(sc.Name))
 	for _, sub := range []string{"velodyne", "labels"} {
 		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
@@ -83,33 +114,43 @@ func Generate(sc *scene.Scenario, root string) error {
 		}
 	}
 
-	cars := make([]GroundTruthBox, 0, len(sc.Scene.Cars()))
-	for _, car := range sc.Scene.Cars() {
-		cars = append(cars, GroundTruthBox{
-			ID: car.ID,
-			X:  car.Box.Center.X, Y: car.Box.Center.Y, Z: car.Box.Center.Z,
-			Length: car.Box.Length, Width: car.Box.Width, Height: car.Box.Height,
-			Yaw: car.Box.Yaw,
-		})
-	}
-
 	scanner := lidar.NewScanner(sc.LiDAR, sc.Seed)
-	for i, pose := range sc.Poses {
-		scan := scanner.ScanFrom(pose, sc.Scene.Targets(), sc.Scene.GroundZ)
-		if err := writeVelodyneBin(filepath.Join(dir, "velodyne", frameName(i, ".bin")), scan.Cloud); err != nil {
-			return err
+	idx := 0
+	for ts := 0; ts < timesteps; ts++ {
+		var at time.Duration
+		if hz > 0 {
+			at = time.Duration(float64(ts) / hz * float64(time.Second))
 		}
-		label := Label{
-			PoseLabel:   sc.PoseLabels[i],
-			GPS:         [3]float64{pose.T.X, pose.T.Y, pose.T.Z},
-			Yaw:         pose.R.Yaw(),
-			Pitch:       pose.R.Pitch(),
-			Roll:        pose.R.Roll(),
-			MountHeight: sc.LiDAR.MountHeight,
-			Cars:        cars,
+		snap := sc.At(at)
+		cars := make([]GroundTruthBox, 0, len(snap.Scene.Cars()))
+		for _, car := range snap.Scene.Cars() {
+			cars = append(cars, GroundTruthBox{
+				ID: car.ID,
+				X:  car.Box.Center.X, Y: car.Box.Center.Y, Z: car.Box.Center.Z,
+				Length: car.Box.Length, Width: car.Box.Width, Height: car.Box.Height,
+				Yaw: car.Box.Yaw,
+			})
 		}
-		if err := writeJSON(filepath.Join(dir, "labels", frameName(i, ".json")), label); err != nil {
-			return err
+		for i, pose := range snap.Poses {
+			scan := scanner.ScanFrom(pose, snap.Scene.Targets(), snap.Scene.GroundZ)
+			if err := writeVelodyneBin(filepath.Join(dir, "velodyne", frameName(idx, ".bin")), scan.Cloud); err != nil {
+				return err
+			}
+			label := Label{
+				PoseLabel:   snap.PoseLabels[i],
+				GPS:         [3]float64{pose.T.X, pose.T.Y, pose.T.Z},
+				Yaw:         pose.R.Yaw(),
+				Pitch:       pose.R.Pitch(),
+				Roll:        pose.R.Roll(),
+				MountHeight: snap.LiDAR.MountHeight,
+				Cars:        cars,
+				Timestep:    ts,
+				TimeMS:      at.Milliseconds(),
+			}
+			if err := writeJSON(filepath.Join(dir, "labels", frameName(idx, ".json")), label); err != nil {
+				return err
+			}
+			idx++
 		}
 	}
 	meta := Meta{
@@ -117,9 +158,11 @@ func Generate(sc *scene.Scenario, root string) error {
 		Dataset:    string(sc.Dataset),
 		LiDARName:  sc.LiDAR.Name,
 		BeamCount:  sc.LiDAR.BeamCount(),
-		FrameCount: len(sc.Poses),
+		FrameCount: idx,
 		PoseLabels: sc.PoseLabels,
 		Seed:       sc.Seed,
+		Timesteps:  timesteps,
+		Hz:         hz,
 	}
 	return writeJSON(filepath.Join(dir, "meta.json"), meta)
 }

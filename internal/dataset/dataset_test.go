@@ -43,6 +43,68 @@ func TestGenerateAndLoadRoundTrip(t *testing.T) {
 	}
 }
 
+// TestGenerateEpisodeRoundTrip renders a dynamic world across
+// timesteps and checks the timestep-major layout: moving ground truth
+// per frame, timeline stamps in the labels, and episode metadata.
+func TestGenerateEpisodeRoundTrip(t *testing.T) {
+	root := t.TempDir()
+	sc, err := scene.Generate(scene.GenParams{Family: scene.FamilyPlatoon, Fleet: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const timesteps, hz = 3, 2.0
+	if err := GenerateEpisode(sc, root, timesteps, hz); err != nil {
+		t.Fatal(err)
+	}
+	meta, frames, err := Load(root, sc.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Timesteps != timesteps || meta.Hz != hz {
+		t.Errorf("meta = %+v, want %d timesteps @ %g Hz", meta, timesteps, hz)
+	}
+	if want := timesteps * len(sc.Poses); len(frames) != want {
+		t.Fatalf("frames = %d, want %d", len(frames), want)
+	}
+	poses := len(sc.Poses)
+	for i, f := range frames {
+		ts := i / poses
+		if f.Label.Timestep != ts {
+			t.Errorf("frame %d: timestep %d, want %d", i, f.Label.Timestep, ts)
+		}
+		if want := int64(float64(ts) / hz * 1000); f.Label.TimeMS != want {
+			t.Errorf("frame %d: time %d ms, want %d", i, f.Label.TimeMS, want)
+		}
+		if f.Label.PoseLabel != sc.PoseLabels[i%poses] {
+			t.Errorf("frame %d: pose label %q", i, f.Label.PoseLabel)
+		}
+	}
+	// The moving ground truth must actually move between timesteps: the
+	// platoon's oncoming traffic covers ground in half a second.
+	first, last := frames[0].Label.Cars, frames[(timesteps-1)*poses].Label.Cars
+	moved := false
+	for ci := range first {
+		if first[ci].X != last[ci].X || first[ci].Y != last[ci].Y {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Error("no ground-truth car moved across the episode")
+	}
+	// And the capturing vehicles drive too.
+	if frames[0].Label.GPS == frames[poses].Label.GPS {
+		t.Error("pose did not advance between timesteps")
+	}
+
+	if err := GenerateEpisode(sc, root, 0, hz); err == nil {
+		t.Error("zero timesteps accepted")
+	}
+	if err := GenerateEpisode(sc, root, 2, 0); err == nil {
+		t.Error("multi-timestep episode without a rate accepted")
+	}
+}
+
 func TestGeneratedCloudsMatchLiveScan(t *testing.T) {
 	// Stored frames must byte-for-byte reproduce the scanner output at
 	// float32 precision (same seed, same order).

@@ -1,0 +1,81 @@
+package eval
+
+// FrameAssoc is one episode frame's ground-truth ↔ track correspondence:
+// which truth objects were inside the cooperative detection area, and
+// which track claimed each of them (via its matched detection). The
+// episode engine emits one FrameAssoc per fused frame; Temporal folds
+// the sequence into the episode's temporal quality metrics.
+type FrameAssoc struct {
+	// Present lists the in-area ground-truth object IDs this frame.
+	Present []int
+	// TrackOf maps a present truth ID to the track ID whose detection
+	// matched it this frame. Unmatched truths are absent from the map.
+	TrackOf map[int]int
+}
+
+// TemporalStats summarises an episode's tracking quality — the temporal
+// analogue of the per-frame precision/recall cells.
+type TemporalStats struct {
+	// Frames is the number of fused frames folded in.
+	Frames int
+	// TruthFrames counts (truth, frame) pairs with the truth in area;
+	// MatchedFrames counts those covered by a track. Their ratio is the
+	// episode's temporal recall.
+	TruthFrames, MatchedFrames int
+	// IDSwitches counts frames in which a truth was claimed by a
+	// different track than the one that last claimed it (the MOT IDSW
+	// count).
+	IDSwitches int
+	// Tracks is the number of distinct track IDs that ever claimed a
+	// truth.
+	Tracks int
+	// Fragments counts matched runs: a truth tracked without
+	// interruption contributes one fragment, every gap or identity
+	// change starts another.
+	Fragments int
+}
+
+// Continuity returns MatchedFrames / TruthFrames in [0, 1] — how much of
+// the ground truth's in-area presence the track layer covered. An empty
+// episode yields 0, not NaN.
+func (s TemporalStats) Continuity() float64 {
+	if s.TruthFrames == 0 {
+		return 0
+	}
+	return float64(s.MatchedFrames) / float64(s.TruthFrames)
+}
+
+// Temporal folds a per-frame association sequence into temporal metrics.
+// It is total on degenerate input: no frames, frames with no truths and
+// never-matched truths all produce well-defined (zero) counts.
+func Temporal(frames []FrameAssoc) TemporalStats {
+	st := TemporalStats{Frames: len(frames)}
+	lastTrack := make(map[int]int) // truth ID → track that last claimed it
+	matchedPrev := make(map[int]bool)
+	seenTracks := make(map[int]bool)
+	for _, f := range frames {
+		matchedNow := make(map[int]bool, len(f.TrackOf))
+		for _, truth := range f.Present {
+			st.TruthFrames++
+			tid, ok := f.TrackOf[truth]
+			if !ok {
+				continue
+			}
+			st.MatchedFrames++
+			matchedNow[truth] = true
+			if prev, had := lastTrack[truth]; had && prev != tid {
+				st.IDSwitches++
+			}
+			if !matchedPrev[truth] || lastTrack[truth] != tid {
+				st.Fragments++
+			}
+			lastTrack[truth] = tid
+			if !seenTracks[tid] {
+				seenTracks[tid] = true
+				st.Tracks++
+			}
+		}
+		matchedPrev = matchedNow
+	}
+	return st
+}

@@ -1,0 +1,73 @@
+package eval
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTemporalEmptyEpisode: no frames, frames without truths, and
+// truths that never match must all yield well-defined zero stats — the
+// metrics are total on degenerate episodes.
+func TestTemporalEmptyEpisode(t *testing.T) {
+	cases := []struct {
+		name   string
+		frames []FrameAssoc
+	}{
+		{name: "no frames", frames: nil},
+		{name: "empty frames", frames: []FrameAssoc{{}, {}}},
+		{name: "never matched", frames: []FrameAssoc{
+			{Present: []int{1, 2}},
+			{Present: []int{1}},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			st := Temporal(tc.frames)
+			if st.MatchedFrames != 0 || st.IDSwitches != 0 || st.Tracks != 0 || st.Fragments != 0 {
+				t.Errorf("expected zero matched stats, got %+v", st)
+			}
+			if c := st.Continuity(); c != 0 || math.IsNaN(c) {
+				t.Errorf("Continuity = %v, want exactly 0", c)
+			}
+			if st.Frames != len(tc.frames) {
+				t.Errorf("Frames = %d, want %d", st.Frames, len(tc.frames))
+			}
+		})
+	}
+}
+
+// TestTemporalCounts walks a hand-built episode through coverage, an ID
+// switch, and a fragment-producing gap.
+func TestTemporalCounts(t *testing.T) {
+	frames := []FrameAssoc{
+		{Present: []int{1, 2}, TrackOf: map[int]int{1: 10, 2: 20}},
+		{Present: []int{1, 2}, TrackOf: map[int]int{1: 10}},           // truth 2 dropped
+		{Present: []int{1, 2}, TrackOf: map[int]int{1: 10, 2: 21}},    // truth 2 re-acquired by a NEW track
+		{Present: []int{1, 2}, TrackOf: map[int]int{1: 11, 2: 21}},    // truth 1 switches identity
+		{Present: []int{1, 2, 3}, TrackOf: map[int]int{1: 11, 2: 21}}, // truth 3 appears unmatched
+	}
+	st := Temporal(frames)
+	if st.Frames != 5 {
+		t.Errorf("Frames = %d, want 5", st.Frames)
+	}
+	if st.TruthFrames != 11 {
+		t.Errorf("TruthFrames = %d, want 11", st.TruthFrames)
+	}
+	if st.MatchedFrames != 9 {
+		t.Errorf("MatchedFrames = %d, want 9", st.MatchedFrames)
+	}
+	// Switches: truth 2 (20 → 21) and truth 1 (10 → 11).
+	if st.IDSwitches != 2 {
+		t.Errorf("IDSwitches = %d, want 2", st.IDSwitches)
+	}
+	if st.Tracks != 4 {
+		t.Errorf("Tracks = %d, want 4", st.Tracks)
+	}
+	// Fragments: truth 1 [10×3], truth 1 [11×2], truth 2 [20], truth 2 [21×2].
+	if st.Fragments != 4 {
+		t.Errorf("Fragments = %d, want 4", st.Fragments)
+	}
+	if want := 9.0 / 11.0; math.Abs(st.Continuity()-want) > 1e-12 {
+		t.Errorf("Continuity = %v, want %v", st.Continuity(), want)
+	}
+}

@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"cooper/internal/core"
+	"cooper/internal/parallel"
+	"cooper/internal/scene"
+)
+
+// EpisodeSweepConfig parameterises the Fig. 15 dynamic-world sweep: how
+// hard the channel lags (Delays) and how fast the world is sampled
+// (Rates), across generated families and fleet sizes.
+type EpisodeSweepConfig struct {
+	// Families and Fleets span the delay sweep's scenario grid.
+	Families []scene.Family
+	Fleets   []int
+	// Seed drives generation, motion and sensing noise.
+	Seed int64
+	// Frames is the episode length; Hz the delay sweep's frame rate.
+	Frames int
+	Hz     float64
+	// Delays is the extra-channel-delay axis.
+	Delays []time.Duration
+	// Rates is the frame-rate axis, swept at RateDelay on RateFleet.
+	Rates     []float64
+	RateDelay time.Duration
+	RateFleet int
+}
+
+// DefaultEpisodeSweep is the Fig. 15 configuration: every family at two
+// fleet sizes across three channel delays, plus a frame-rate sweep at
+// the middle delay.
+func DefaultEpisodeSweep() EpisodeSweepConfig {
+	return EpisodeSweepConfig{
+		Families:  scene.Families(),
+		Fleets:    []int{2, 4},
+		Seed:      1,
+		Frames:    5,
+		Hz:        2,
+		Delays:    []time.Duration{0, 250 * time.Millisecond, 500 * time.Millisecond},
+		Rates:     []float64{1, 2, 5},
+		RateDelay: 250 * time.Millisecond,
+		RateFleet: 4,
+	}
+}
+
+// episodeLabs hands out one shared capture cache per (family, fleet):
+// every sweep cell over the same generated world re-senses the same
+// instants, so the ray-cast cost is paid once per grid point.
+type episodeLabs struct {
+	suite *Suite
+	cfg   EpisodeSweepConfig
+
+	mu   sync.Mutex
+	labs map[string]*core.EpisodeLab
+}
+
+func (e *episodeLabs) lab(family scene.Family, fleet int) (*core.EpisodeLab, error) {
+	sc, err := e.suite.Generated(scene.GenParams{Family: family, Fleet: fleet, Seed: e.cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	l, ok := e.labs[sc.Name]
+	if !ok {
+		l = core.NewEpisodeLab(sc)
+		e.labs[sc.Name] = l
+	}
+	return l, nil
+}
+
+// episodeCell is one sweep cell: the same episode fused raw and
+// compensated.
+type episodeCell struct {
+	raw, comp *core.EpisodeResult
+}
+
+// run plays both modes of one cell. Episodes run single-goroutine here —
+// the sweep already fans out across cells.
+func (e *episodeLabs) run(family scene.Family, fleet, frames int, hz float64, delay time.Duration) (episodeCell, error) {
+	l, err := e.lab(family, fleet)
+	if err != nil {
+		return episodeCell{}, err
+	}
+	var cell episodeCell
+	opts := core.EpisodeOptions{Frames: frames, Hz: hz, Delay: delay, Workers: 1}
+	if cell.raw, err = l.Run(opts); err != nil {
+		return episodeCell{}, err
+	}
+	opts.Compensate = true
+	if cell.comp, err = l.Run(opts); err != nil {
+		return episodeCell{}, err
+	}
+	return cell, nil
+}
+
+// steadyStaleness is the episode's settled sender-frame age: the last
+// frame's staleness (zero if the episode never left warm-up).
+func steadyStaleness(r *core.EpisodeResult) time.Duration {
+	if len(r.Frames) == 0 {
+		return 0
+	}
+	return r.Frames[len(r.Frames)-1].Staleness
+}
+
+func cellRow(c episodeCell) string {
+	return fmt.Sprintf("%8.0f %8.1f %9.1f %9.1f %10.1f %8d %9d",
+		float64(steadyStaleness(c.raw).Milliseconds()),
+		100*c.raw.MeanCoopRecall(), 100*c.comp.MeanCoopRecall(),
+		100*c.raw.Temporal.Continuity(), 100*c.comp.Temporal.Continuity(),
+		c.raw.Temporal.IDSwitches, c.comp.Temporal.IDSwitches)
+}
+
+// EpisodeSweep runs the Fig. 15 experiment: multi-frame episodes over
+// moving generated worlds in which every broadcast round arrives stale
+// by its DSRC transmission time plus a swept extra delay, fused once as
+// captured ("raw") and once motion-compensated to the fusion timestamp
+// ("comp"). It reports per-cell fused recall, track continuity and ID
+// switches, then the per-delay aggregate — the paper's transmission-
+// delay table turned into a perception cost, and the compensation that
+// buys it back. Cells compute concurrently under the suite's worker
+// budget; output is identical at any worker count.
+func EpisodeSweep(s *Suite, w io.Writer, cfg EpisodeSweepConfig) error {
+	labs := &episodeLabs{suite: s, cfg: cfg, labs: make(map[string]*core.EpisodeLab)}
+
+	s.mu.Lock()
+	workers := s.workers
+	s.mu.Unlock()
+
+	type delayEntry struct {
+		family scene.Family
+		fleet  int
+		delay  time.Duration
+	}
+	var dEntries []delayEntry
+	for _, f := range cfg.Families {
+		for _, n := range cfg.Fleets {
+			for _, d := range cfg.Delays {
+				dEntries = append(dEntries, delayEntry{f, n, d})
+			}
+		}
+	}
+	dCells, err := parallel.MapErr(workers, len(dEntries), func(i int) (episodeCell, error) {
+		e := dEntries[i]
+		return labs.run(e.family, e.fleet, cfg.Frames, cfg.Hz, e.delay)
+	})
+	if err != nil {
+		return err
+	}
+
+	type rateEntry struct {
+		family scene.Family
+		hz     float64
+	}
+	var rEntries []rateEntry
+	for _, f := range cfg.Families {
+		for _, hz := range cfg.Rates {
+			rEntries = append(rEntries, rateEntry{f, hz})
+		}
+	}
+	rCells, err := parallel.MapErr(workers, len(rEntries), func(i int) (episodeCell, error) {
+		e := rEntries[i]
+		return labs.run(e.family, cfg.RateFleet, cfg.Frames, e.hz, cfg.RateDelay)
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w, "Fig. 15 — dynamic episodes: latency-compensated fusion and tracking vs channel delay and frame rate")
+	fmt.Fprintf(w, "  (generated fleets, seed %d, %d frames/episode; every broadcast round arrives stale by its DSRC\n", cfg.Seed, cfg.Frames)
+	fmt.Fprintln(w, "   transmission time plus the swept delay; \"raw\" fuses stale clouds as captured, \"comp\" motion-")
+	fmt.Fprintln(w, "   compensates them to the fusion timestamp; recall/continuity are episode means, stale the settled frame age)")
+
+	fmt.Fprintf(w, "\n  delay sweep @ %g Hz:\n", cfg.Hz)
+	fmt.Fprintf(w, "  %-13s %5s %8s %8s %8s %9s %9s %10s %8s %9s\n",
+		"family", "fleet", "delay-ms", "stale-ms", "rec-raw%", "rec-comp%", "cont-raw%", "cont-comp%", "idsw-raw", "idsw-comp")
+	for i, e := range dEntries {
+		fmt.Fprintf(w, "  %-13s %5d %8d %s\n", e.family, e.fleet, e.delay.Milliseconds(), cellRow(dCells[i]))
+	}
+
+	// Per-delay aggregate: the mean fused recall across the scenario
+	// grid, raw vs compensated — the headline comparison.
+	fmt.Fprintf(w, "\n  mean fused recall over families × fleets:\n")
+	recovers := true
+	for _, d := range cfg.Delays {
+		var raw, comp float64
+		n := 0
+		for i, e := range dEntries {
+			if e.delay != d {
+				continue
+			}
+			raw += dCells[i].raw.MeanCoopRecall()
+			comp += dCells[i].comp.MeanCoopRecall()
+			n++
+		}
+		raw, comp = raw/float64(n), comp/float64(n)
+		if comp < raw {
+			recovers = false
+		}
+		fmt.Fprintf(w, "    delay %4d ms: raw %5.1f%%  comp %5.1f%%  (+%.1f pts)\n",
+			d.Milliseconds(), 100*raw, 100*comp, 100*(comp-raw))
+	}
+	fmt.Fprintf(w, "  compensation recovers recall at every delay: %v\n", recovers)
+
+	fmt.Fprintf(w, "\n  frame-rate sweep @ %d ms delay, fleet %d:\n", cfg.RateDelay.Milliseconds(), cfg.RateFleet)
+	fmt.Fprintf(w, "  %-13s %5s %8s %8s %9s %9s %10s %8s %9s\n",
+		"family", "hz", "stale-ms", "rec-raw%", "rec-comp%", "cont-raw%", "cont-comp%", "idsw-raw", "idsw-comp")
+	for i, e := range rEntries {
+		fmt.Fprintf(w, "  %-13s %5g %s\n", e.family, e.hz, cellRow(rCells[i]))
+	}
+	return nil
+}
+
+// FigEpisodes is the registry generator for the default episode sweep.
+func FigEpisodes(s *Suite, w io.Writer) error {
+	return EpisodeSweep(s, w, DefaultEpisodeSweep())
+}

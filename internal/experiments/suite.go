@@ -162,8 +162,10 @@ type Generator func(s *Suite, w io.Writer) error
 
 // Registry maps figure numbers to generators. Figure 13 is the §IV-G
 // wire-codec / DSRC feasibility analysis (a claims table rather than a
-// plotted figure in the paper); figure 14 goes beyond the paper: the
-// fleet-scale N-way fusion sweep over generated scenario families.
+// plotted figure in the paper); figures 14 and 15 go beyond the paper:
+// the fleet-scale N-way fusion sweep over generated scenario families,
+// and the dynamic-episode sweep of latency-compensated fusion versus
+// channel delay and frame rate.
 func Registry() map[int]Generator {
 	return map[int]Generator{
 		2:  Fig2,
@@ -179,6 +181,7 @@ func Registry() map[int]Generator {
 		12: Fig12,
 		13: Fig13,
 		14: FigFleet,
+		15: FigEpisodes,
 	}
 }
 

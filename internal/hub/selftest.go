@@ -4,12 +4,16 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
 	"cooper/internal/core"
+	"cooper/internal/eval"
 	"cooper/internal/network"
 	"cooper/internal/parallel"
 	"cooper/internal/roi"
 	"cooper/internal/scene"
+	"cooper/internal/spod"
+	"cooper/internal/track"
 )
 
 // SelfTestOptions parameterises a single-process hub exercise.
@@ -31,6 +35,14 @@ type SelfTestOptions struct {
 	// MaxSenders caps the senders each client requests (0 = everyone
 	// else in the fleet).
 	MaxSenders int
+	// Frames > 1 streams an episode through the hub: the generated
+	// world advances along its trajectories at Hz, every client
+	// re-senses and republishes each frame (newest sequence wins in the
+	// cache), and a per-client tracker follows the fused detections
+	// across frames. Frames ≤ 1 is the original one-round exercise.
+	Frames int
+	// Hz is the streaming frame rate (default 2).
+	Hz float64
 }
 
 // selfReport is one client's deterministic round outcome.
@@ -43,14 +55,19 @@ type selfReport struct {
 	coop        core.TruthStats
 	categories  map[roi.Category]int
 	downsampled int
+
+	assoc     core.TruthAssoc
+	worldDets []spod.Detection
 }
 
 // SelfTest spins up a hub plus an in-process fleet of TCP clients from a
 // generated scenario and writes a fused precision/recall and modelled
-// per-round-latency report. Every figure in the report is derived from
-// seeded sensing, deterministic payload selection and the DSRC schedule
-// model — never from wall-clock — so the output is byte-identical across
-// runs and worker counts.
+// per-round-latency report — for one frozen round, or, with Frames > 1,
+// for a streamed episode over the moving world with per-client track
+// continuity. Every figure in the report is derived from seeded sensing,
+// deterministic payload selection and the DSRC schedule model — never
+// from wall-clock — so the output is byte-identical across runs and
+// worker counts.
 func SelfTest(w io.Writer, opts SelfTestOptions) error {
 	if opts.Family == "" {
 		opts.Family = string(scene.FamilyPlatoon)
@@ -61,6 +78,13 @@ func SelfTest(w io.Writer, opts SelfTestOptions) error {
 	}
 	if opts.Fleet < 2 {
 		return fmt.Errorf("hub: selftest needs a fleet of at least 2, got %d", opts.Fleet)
+	}
+	frames := opts.Frames
+	if frames < 1 {
+		frames = 1
+	}
+	if opts.Hz <= 0 {
+		opts.Hz = 2
 	}
 	sc, err := scene.Generate(scene.GenParams{Family: fam, Fleet: opts.Fleet, Seed: opts.Seed, Traffic: opts.Traffic})
 	if err != nil {
@@ -81,105 +105,141 @@ func SelfTest(w io.Writer, opts SelfTestOptions) error {
 		k = opts.Fleet - 1
 	}
 
-	// Phase 1 — every vehicle senses and publishes its frame. The barrier
-	// between the phases makes the cache contents (and therefore every
-	// round) independent of client scheduling.
-	type stClient struct {
-		cl *Client
-		v  *core.Vehicle
+	// One long-lived session per vehicle; frames republish through it.
+	clients := make([]*Client, opts.Fleet)
+	for i := 0; i < opts.Fleet; i++ {
+		cl, _, err := Connect(l.Addr(), sc.PoseLabels[i], core.PoseState(sc, i))
+		if err != nil {
+			return err
+		}
+		clients[i] = cl
 	}
-	clients, err := parallel.MapErr(opts.Workers, opts.Fleet, func(i int) (stClient, error) {
-		v := core.PoseVehicle(sc, i).SetWorkers(1)
-		v.Sense(sc.Scene.Targets(), sc.Scene.GroundZ)
-		pkg, err := v.PreparePackage(nil)
-		if err != nil {
-			return stClient{}, err
-		}
-		cl, _, err := Connect(l.Addr(), v.ID, v.State())
-		if err != nil {
-			return stClient{}, err
-		}
-		if _, err := cl.Publish(v.State(), pkg.Payload); err != nil {
-			cl.Close()
-			return stClient{}, err
-		}
-		return stClient{cl: cl, v: v}, nil
-	})
 	defer func() {
-		for _, c := range clients {
-			if c.cl != nil {
-				c.cl.Close()
+		for _, cl := range clients {
+			if cl != nil {
+				cl.Close()
 			}
 		}
 	}()
-	if err != nil {
-		return err
-	}
 
-	// Phase 2 — every vehicle requests a fusion round and detects on the
-	// merge. Rounds read the now-immutable cache, so outcomes depend only
-	// on the scenario, the budget and k.
 	poseOf := make(map[string]int, len(sc.PoseLabels))
 	for i, label := range sc.PoseLabels {
 		poseOf[label] = i
 	}
-	// Every round carries k frames under the same budget, so each
-	// sender's payload-selection rung is the same in every round: derive
-	// it once per vehicle here rather than per (receiver, sender) pair.
-	selections := make(map[string]roi.Selection, opts.Fleet)
-	for _, label := range sc.PoseLabels {
-		sel, err := selectionFor(h, label, k, budgetBps)
+
+	trackers := make([]*track.Tracker, opts.Fleet)
+	assocs := make([][]eval.FrameAssoc, opts.Fleet)
+	for i := range trackers {
+		trackers[i] = track.New(track.DefaultConfig())
+	}
+
+	allReports := make([][]selfReport, frames)
+	for f := 0; f < frames; f++ {
+		var at time.Duration
+		if frames > 1 {
+			at = time.Duration(float64(f) / opts.Hz * float64(time.Second))
+		}
+		snap := sc.At(at)
+
+		// Phase 1 — every vehicle senses the world as it stands and
+		// publishes its frame. The barrier between the phases makes the
+		// cache contents (and therefore every round) independent of
+		// client scheduling.
+		vehicles, err := parallel.MapErr(opts.Workers, opts.Fleet, func(i int) (*core.Vehicle, error) {
+			v := core.PoseVehicleSeeded(snap, i, sc.Seed+int64(i)*997+int64(f)*100003).SetWorkers(1)
+			v.Sense(snap.Scene.Targets(), snap.Scene.GroundZ)
+			pkg, err := v.PreparePackage(nil)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := clients[i].Publish(v.State(), pkg.Payload); err != nil {
+				return nil, err
+			}
+			return v, nil
+		})
 		if err != nil {
 			return err
 		}
-		selections[label] = sel
-	}
-	reports, err := parallel.MapErr(opts.Workers, opts.Fleet, func(i int) (selfReport, error) {
-		c := clients[i]
-		frames, err := c.cl.RequestRound(c.v.State(), k, budgetBps)
-		if err != nil {
-			return selfReport{}, err
-		}
-		rep := selfReport{id: c.v.ID, categories: make(map[roi.Category]int)}
 
-		singles, _, err := c.v.Detect()
-		if err != nil {
-			return selfReport{}, err
-		}
-		rep.single = core.EvaluateDetections(sc, i, nil, singles)
-
-		pkgs := make([]core.ExchangePackage, 0, len(frames))
-		sizes := make([]int, 0, len(frames))
-		participants := []int{i}
-		for _, f := range frames {
-			rep.senders = append(rep.senders, f.Sender)
-			rep.payloadSum += len(f.Payload)
-			sizes = append(sizes, len(f.Payload))
-			pkgs = append(pkgs, core.ExchangePackage{SenderID: f.Sender, State: f.State, Payload: f.Payload})
-			p, ok := poseOf[f.Sender]
-			if !ok {
-				return selfReport{}, fmt.Errorf("hub: round frame from unknown vehicle %q", f.Sender)
+		// Every round carries k frames under the same budget, so each
+		// sender's payload-selection rung is the same in every round:
+		// derive it once per vehicle here rather than per pair.
+		selections := make(map[string]roi.Selection, opts.Fleet)
+		for _, label := range sc.PoseLabels {
+			sel, err := selectionFor(h, label, k, budgetBps)
+			if err != nil {
+				return err
 			}
-			participants = append(participants, p)
-			sel := selections[f.Sender]
-			rep.categories[sel.Category]++
-			if sel.Downsampled {
-				rep.downsampled++
+			selections[label] = sel
+		}
+
+		// Phase 2 — every vehicle requests a fusion round and detects on
+		// the merge. Rounds read the now-immutable cache, so outcomes
+		// depend only on the scenario, the frame, the budget and k.
+		reports, err := parallel.MapErr(opts.Workers, opts.Fleet, func(i int) (selfReport, error) {
+			v := vehicles[i]
+			rframes, err := clients[i].RequestRound(v.State(), k, budgetBps)
+			if err != nil {
+				return selfReport{}, err
 			}
-		}
-		coopDets, _, err := c.v.CooperativeDetect(pkgs...)
+			rep := selfReport{id: v.ID, categories: make(map[roi.Category]int)}
+
+			singles, _, err := v.Detect()
+			if err != nil {
+				return selfReport{}, err
+			}
+			rep.single = core.EvaluateDetections(snap, i, nil, singles)
+
+			pkgs := make([]core.ExchangePackage, 0, len(rframes))
+			sizes := make([]int, 0, len(rframes))
+			participants := []int{i}
+			for _, rf := range rframes {
+				rep.senders = append(rep.senders, rf.Sender)
+				rep.payloadSum += len(rf.Payload)
+				sizes = append(sizes, len(rf.Payload))
+				pkgs = append(pkgs, core.ExchangePackage{SenderID: rf.Sender, State: rf.State, Payload: rf.Payload})
+				p, ok := poseOf[rf.Sender]
+				if !ok {
+					return selfReport{}, fmt.Errorf("hub: round frame from unknown vehicle %q", rf.Sender)
+				}
+				participants = append(participants, p)
+				sel := selections[rf.Sender]
+				rep.categories[sel.Category]++
+				if sel.Downsampled {
+					rep.downsampled++
+				}
+			}
+			coopDets, _, err := v.CooperativeDetect(pkgs...)
+			if err != nil {
+				return selfReport{}, err
+			}
+			rep.assoc = core.EvaluateDetectionsAssoc(snap, i, participants, coopDets)
+			rep.coop = rep.assoc.Stats
+			rep.plan = h.cfg.Scheduler.Plan(sizes)
+
+			// Track in the world frame: receivers move between frames.
+			rep.worldDets = core.WorldDetections(coopDets, snap.Poses[i], sc.LiDAR.MountHeight)
+			return rep, nil
+		})
 		if err != nil {
-			return selfReport{}, err
+			return err
 		}
-		rep.coop = core.EvaluateDetections(sc, i, participants, coopDets)
-		rep.plan = h.cfg.Scheduler.Plan(sizes)
-		return rep, nil
-	})
-	if err != nil {
-		return err
+
+		// Phase 3 — the per-client track layer consumes the fused
+		// detections in timeline order.
+		for i := range reports {
+			rep := &reports[i]
+			ids := trackers[i].Step(at, rep.worldDets)
+			assocs[i] = append(assocs[i], rep.assoc.FrameAssoc(ids))
+		}
+		allReports[f] = reports
 	}
 
-	printSelfTest(w, sc, opts, k, budgetBps, reports)
+	if frames == 1 {
+		printSelfTest(w, sc, opts, k, budgetBps, allReports[0])
+		return nil
+	}
+	printStreaming(w, sc, opts, frames, k, budgetBps, allReports, assocs)
 	return nil
 }
 
@@ -249,4 +309,56 @@ func printSelfTest(w io.Writer, sc *scene.Scenario, opts SelfTestOptions, k int,
 	n := float64(len(reports))
 	fmt.Fprintf(w, "\nfleet mean: single recall %s -> cooper recall %s | worst round latency %s | channel fits %d/%d\n",
 		pct(singleR/n), pct(coopR/n), maxLatency, int(fits), len(reports))
+}
+
+// printStreaming renders the episode form of the selftest: one line per
+// streamed frame (fleet means) plus the per-client temporal summary.
+func printStreaming(w io.Writer, sc *scene.Scenario, opts SelfTestOptions, frames, k int, budgetBps uint64, allReports [][]selfReport, assocs [][]eval.FrameAssoc) {
+	budget := "uncapped"
+	if budgetBps > 0 {
+		budget = fmt.Sprintf("%.2f Mbit/s", float64(budgetBps)/1e6)
+	}
+	fmt.Fprintf(w, "selftest %s fleet=%d seed=%d k=%d budget=%s frames=%d hz=%g\n",
+		opts.Family, opts.Fleet, opts.Seed, k, budget, frames, opts.Hz)
+	fmt.Fprintf(w, "scenario %s: %d-beam LiDAR, %d poses, %d ground-truth cars, %d moving\n",
+		sc.Name, sc.LiDAR.BeamCount(), len(sc.Poses), len(sc.Scene.Cars()), sc.MovingObjects())
+
+	var episodeSingle, episodeCoop float64
+	for f, reports := range allReports {
+		at := time.Duration(float64(f) / opts.Hz * float64(time.Second))
+		var singleR, coopR float64
+		var fits int
+		var worst time.Duration
+		for _, r := range reports {
+			singleR += r.single.Recall()
+			coopR += r.coop.Recall()
+			if r.plan.Fits() {
+				fits++
+			}
+			if c := r.plan.Completion(); c > worst {
+				worst = c
+			}
+		}
+		n := float64(len(reports))
+		episodeSingle += singleR / n
+		episodeCoop += coopR / n
+		fmt.Fprintf(w, "frame %2d t=%5dms: single R=%s -> cooper R=%s | worst latency %v | fits %d/%d\n",
+			f, at.Milliseconds(), pct(singleR/n), pct(coopR/n), worst, fits, len(reports))
+	}
+
+	fmt.Fprintln(w, "\ntracks per vehicle:")
+	var contSum float64
+	totalSwitches := 0
+	for i, frameAssocs := range assocs {
+		st := eval.Temporal(frameAssocs)
+		contSum += st.Continuity()
+		totalSwitches += st.IDSwitches
+		fmt.Fprintf(w, "  %-4s continuity %s (%d/%d truth-frames), %d tracks on truth, %d switches, %d fragments\n",
+			sc.PoseLabels[i], pct(st.Continuity()), st.MatchedFrames, st.TruthFrames,
+			st.Tracks, st.IDSwitches, st.Fragments)
+	}
+	nf := float64(frames)
+	fmt.Fprintf(w, "\nfleet mean over %d frames: single recall %s -> cooper recall %s | continuity %s | %d ID switches\n",
+		frames, pct(episodeSingle/nf), pct(episodeCoop/nf),
+		pct(contSum/float64(len(assocs))), totalSwitches)
 }

@@ -36,6 +36,29 @@ func TestSelfTestDeterministic(t *testing.T) {
 	}
 }
 
+// TestSelfTestStreaming exercises the episode form: frames of the
+// moving world streamed through the hub, deterministic across runs and
+// worker counts, with the temporal track summary present.
+func TestSelfTestStreaming(t *testing.T) {
+	run := func(workers int) string {
+		var buf bytes.Buffer
+		err := SelfTest(&buf, SelfTestOptions{Fleet: 2, Seed: 5, Workers: workers, Frames: 3, Hz: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	seq := run(1)
+	if again := run(4); again != seq {
+		t.Errorf("streaming selftest differs across worker counts:\n--- workers=1\n%s\n--- workers=4\n%s", seq, again)
+	}
+	for _, want := range []string{"frames=3 hz=2", "frame  0", "frame  2", "tracks per vehicle", "continuity", "fleet mean over 3 frames"} {
+		if !strings.Contains(seq, want) {
+			t.Errorf("streaming report missing %q:\n%s", want, seq)
+		}
+	}
+}
+
 // TestSelfTestBudget exercises the bandwidth-capped path: the capped
 // report must show smaller rounds than the uncapped one.
 func TestSelfTestBudget(t *testing.T) {

@@ -18,6 +18,12 @@ type Scan struct {
 	// not included. The evaluation harness uses this as exact point-
 	// support ground truth.
 	HitsPerObject map[int]int
+	// ObjIDs records, aligned with Cloud order, the scene ObjectID each
+	// return came from (-1 for ground). Motion compensation uses it to
+	// advance a stale frame's points along their objects' trajectories;
+	// the wire codec does not carry it, so only the sensing vehicle —
+	// never a receiver — can consult it.
+	ObjIDs []int32
 }
 
 // Scanner simulates a spinning LiDAR. A Scanner is deterministic for a
@@ -67,8 +73,11 @@ func (s *Scanner) ScanFrom(pose geom.Transform, targets []Target, groundZ float6
 	origin := pose.Apply(geom.V3(0, 0, s.cfg.MountHeight))
 	steps := int(2 * math.Pi / s.cfg.AzimuthStep)
 	beams := s.cfg.BeamCount()
-	cloud := pointcloud.New(steps * beams / 4)
-	hits := make(map[int]int)
+	scan := Scan{
+		Cloud:         pointcloud.New(steps * beams / 4),
+		HitsPerObject: make(map[int]int),
+		ObjIDs:        make([]int32, 0, steps*beams/4),
+	}
 	toSensor := SensorTransform(pose, s.cfg.MountHeight)
 
 	if parallel.Normalize(s.workers) == 1 {
@@ -86,10 +95,10 @@ func (s *Scanner) ScanFrom(pose geom.Transform, targets []Target, groundZ float6
 				if !ok {
 					continue
 				}
-				s.applySensorModel(cloud, hits, ray, t, idx, toSensor, targets)
+				s.applySensorModel(&scan, ray, t, idx, toSensor, targets)
 			}
 		}
-		return Scan{Cloud: cloud, HitsPerObject: hits}
+		return scan
 	}
 
 	// Phase 1 — geometry. Ray/target intersection dominates scan cost and
@@ -125,15 +134,15 @@ func (s *Scanner) ScanFrom(pose geom.Transform, targets []Target, groundZ float6
 		if !h.ok {
 			continue
 		}
-		s.applySensorModel(cloud, hits, Ray{Origin: origin, Dir: h.dir}, h.t, int(h.idx), toSensor, targets)
+		s.applySensorModel(&scan, Ray{Origin: origin, Dir: h.dir}, h.t, int(h.idx), toSensor, targets)
 	}
-	return Scan{Cloud: cloud, HitsPerObject: hits}
+	return scan
 }
 
 // applySensorModel turns one geometric ray hit into a (possibly dropped)
 // cloud point: dropout, range noise, intensity model. It draws from the
 // scanner's RNG, so callers must invoke it in fixed ray order.
-func (s *Scanner) applySensorModel(cloud *pointcloud.Cloud, hits map[int]int, ray Ray, t float64, idx int, toSensor geom.Transform, targets []Target) {
+func (s *Scanner) applySensorModel(scan *Scan, ray Ray, t float64, idx int, toSensor geom.Transform, targets []Target) {
 	if t < s.cfg.MinRange {
 		return
 	}
@@ -160,9 +169,10 @@ func (s *Scanner) applySensorModel(cloud *pointcloud.Cloud, hits map[int]int, ra
 	intensity += s.rng.NormFloat64() * 0.01
 	intensity = geom.Clamp(intensity, 0, 1)
 
-	cloud.AppendXYZR(hitSensor.X, hitSensor.Y, hitSensor.Z, intensity)
+	scan.Cloud.AppendXYZR(hitSensor.X, hitSensor.Y, hitSensor.Z, intensity)
+	scan.ObjIDs = append(scan.ObjIDs, int32(objID))
 	if objID >= 0 {
-		hits[objID]++
+		scan.HitsPerObject[objID]++
 	}
 }
 

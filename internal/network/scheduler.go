@@ -14,6 +14,11 @@ type Scheduler struct {
 	// RateHz is the per-sender frame exchange rate (the paper argues
 	// 1 Hz suffices).
 	RateHz float64
+	// ExtraDelay is a fixed per-round delivery delay beyond channel
+	// occupancy — propagation, queuing and decode time between a frame
+	// clearing the air and a receiver being able to fuse it. It shifts
+	// Plan.Ready and Plan.AvailableAt without consuming channel capacity.
+	ExtraDelay time.Duration
 }
 
 // DefaultScheduler returns a 1 Hz scheduler on the default 6 Mbit/s
@@ -41,6 +46,7 @@ type Plan struct {
 
 	channel DSRCChannel
 	rateHz  float64
+	extra   time.Duration
 }
 
 // Plan schedules one broadcast round for the given frames, one per
@@ -48,7 +54,7 @@ type Plan struct {
 // vehicle with nobody to talk to — yields the empty plan: no slots and
 // zero channel load, not a degenerate schedule.
 func (s Scheduler) Plan(frameBytes []int) Plan {
-	p := Plan{channel: s.Channel, rateHz: s.RateHz}
+	p := Plan{channel: s.Channel, rateHz: s.RateHz, extra: s.ExtraDelay}
 	var t time.Duration
 	for k, b := range frameBytes {
 		d := s.Channel.TransmitTime(b)
@@ -63,7 +69,7 @@ func (s Scheduler) Plan(frameBytes []int) Plan {
 // of zero or one vehicle exchange nothing and yield the empty plan.
 func (s Scheduler) FleetPlan(n, frameBytes int) Plan {
 	if n < 2 {
-		return Plan{channel: s.Channel, rateHz: s.RateHz}
+		return Plan{channel: s.Channel, rateHz: s.RateHz, extra: s.ExtraDelay}
 	}
 	frames := make([]int, n)
 	for i := range frames {
@@ -97,6 +103,21 @@ func (p Plan) Completion() time.Duration {
 // Latency returns the freshness delay of the k-th sender's frame: how
 // long after the round starts the receiver holds it.
 func (p Plan) Latency(k int) time.Duration { return p.Slots[k].End }
+
+// AvailableAt returns when the k-th sender's frame is usable by a
+// receiver: its slot completion plus the scheduler's extra delivery
+// delay.
+func (p Plan) AvailableAt(k int) time.Duration { return p.Slots[k].End + p.extra }
+
+// Ready returns when every frame of the round is usable — the round's
+// channel completion plus the extra delivery delay. Zero for the empty
+// round: nothing was sent, so there is nothing to wait for.
+func (p Plan) Ready() time.Duration {
+	if len(p.Slots) == 0 {
+		return 0
+	}
+	return p.Completion() + p.extra
+}
 
 // BytesPerSecond returns the sustained channel load of repeating the
 // round at the scheduler's rate. Zero for the empty round.

@@ -106,3 +106,31 @@ func TestFleetPlanLoadScalesWithFleet(t *testing.T) {
 		t.Errorf("larger fleet must complete later: %v vs %v", p4.Completion(), p2.Completion())
 	}
 }
+
+// TestPlanExtraDelay: the extra delivery delay shifts availability and
+// readiness without consuming channel time, and the empty round stays
+// instantly "ready" — nothing was sent.
+func TestPlanExtraDelay(t *testing.T) {
+	s := DefaultScheduler()
+	s.ExtraDelay = 250 * time.Millisecond
+	p := s.Plan([]int{100_000, 150_000})
+	if p.Ready() != p.Completion()+s.ExtraDelay {
+		t.Errorf("Ready = %v, want completion %v + %v", p.Ready(), p.Completion(), s.ExtraDelay)
+	}
+	for k := range p.Slots {
+		if p.AvailableAt(k) != p.Slots[k].End+s.ExtraDelay {
+			t.Errorf("slot %d: AvailableAt = %v, want %v + %v", k, p.AvailableAt(k), p.Slots[k].End, s.ExtraDelay)
+		}
+	}
+	// The delay must not inflate channel-occupancy accounting.
+	base := DefaultScheduler().Plan([]int{100_000, 150_000})
+	if p.Completion() != base.Completion() || p.Utilization() != base.Utilization() {
+		t.Error("extra delay leaked into channel occupancy")
+	}
+	if empty := s.Plan(nil); empty.Ready() != 0 {
+		t.Errorf("empty round Ready = %v, want 0", empty.Ready())
+	}
+	if empty := s.FleetPlan(1, 100_000); empty.Ready() != 0 {
+		t.Errorf("one-vehicle fleet Ready = %v, want 0", empty.Ready())
+	}
+}

@@ -115,18 +115,22 @@ func Generate(p GenParams) (*Scenario, error) {
 		Seed:  p.Seed*1000003 + familySalt(p.Family),
 	}
 	rng := rand.New(rand.NewSource(p.Seed*7919 + familySalt(p.Family)))
+	// Motion randomness comes from its own stream so that adding the time
+	// axis leaves the static world (and every golden keyed to it) byte-
+	// identical: the world rng's draw sequence is untouched.
+	mr := rand.New(rand.NewSource(p.Seed*52361 + familySalt(p.Family) + 7))
 
 	switch p.Family {
 	case FamilyHighway:
-		genHighway(sc, rng, p)
+		genHighway(sc, rng, mr, p)
 	case FamilyIntersection:
-		genIntersection(sc, rng, p)
+		genIntersection(sc, rng, mr, p)
 	case FamilyRoundabout:
-		genRoundabout(sc, rng, p)
+		genRoundabout(sc, rng, mr, p)
 	case FamilyParkingLot:
-		genParkingLot(sc, rng, p)
+		genParkingLot(sc, rng, mr, p)
 	case FamilyPlatoon:
-		genPlatoon(sc, rng, p)
+		genPlatoon(sc, rng, mr, p)
 	}
 
 	sc.PoseLabels = make([]string, len(sc.Poses))
@@ -166,10 +170,25 @@ func jitter(rng *rand.Rand, half float64) float64 {
 	return (rng.Float64() - 0.5) * 2 * half
 }
 
+// ringArc samples a counter-clockwise circular lap of the given radius
+// starting at startAng — the waypoint path a circulating roundabout car
+// follows. Twenty-four chords keep the polyline within a few centimetres
+// of the circle at ring radii.
+func ringArc(radius, startAng float64) []geom.Vec3 {
+	const segments = 24
+	pts := make([]geom.Vec3, 0, segments+1)
+	for i := 0; i <= segments; i++ {
+		a := startAng + 2*math.Pi*float64(i)/segments
+		pts = append(pts, geom.V3(radius*math.Cos(a), radius*math.Sin(a), 0))
+	}
+	return pts
+}
+
 // genHighway builds a straight four-lane highway along +x. The fleet is
 // a staggered convoy in the two forward lanes; ahead of it, trucks
 // shield slower traffic, and oncoming vehicles run the opposite lanes.
-func genHighway(sc *Scenario, rng *rand.Rand, p GenParams) {
+// In time, the convoy cruises forward while traffic flows both ways.
+func genHighway(sc *Scenario, rng, mr *rand.Rand, p GenParams) {
 	sc.Dataset = DatasetKITTI
 	sc.LiDAR = fleetHDL64()
 	w := sc.Scene
@@ -183,6 +202,7 @@ func genHighway(sc *Scenario, rng *rand.Rand, p GenParams) {
 			lane = -5.25
 		}
 		sc.Poses = append(sc.Poses, VehiclePose(x+jitter(rng, 2), lane, 0))
+		sc.PoseMotions = append(sc.PoseMotions, HeadingVelocity(11+2*mr.Float64(), 0))
 		x += gap
 	}
 	front := x // just beyond the last convoy vehicle
@@ -197,13 +217,13 @@ func genHighway(sc *Scenario, rng *rand.Rand, p GenParams) {
 	}
 
 	// Truck occluders ahead of the convoy, each hiding a slower car.
-	w.AddTruck(front+14+jitter(rng, 3), -5.25, 0)
-	w.AddCar(front+26+jitter(rng, 3), -5.0, 0) // hidden behind the truck
-	w.AddTruck(front+32+jitter(rng, 3), 1.75, math.Pi)
-	w.AddCar(front+44+jitter(rng, 3), 2.0, math.Pi) // hidden oncoming
+	sc.SetObjectMotion(w.AddTruck(front+14+jitter(rng, 3), -5.25, 0), HeadingVelocity(8+2*mr.Float64(), 0))
+	sc.SetObjectMotion(w.AddCar(front+26+jitter(rng, 3), -5.0, 0), HeadingVelocity(7+2*mr.Float64(), 0)) // hidden behind the truck
+	sc.SetObjectMotion(w.AddTruck(front+32+jitter(rng, 3), 1.75, math.Pi), HeadingVelocity(8+2*mr.Float64(), math.Pi))
+	sc.SetObjectMotion(w.AddCar(front+44+jitter(rng, 3), 2.0, math.Pi), HeadingVelocity(9+2*mr.Float64(), math.Pi)) // hidden oncoming
 
 	// Ambient traffic: forward cars beyond the trucks, oncoming along the
-	// whole stretch.
+	// whole stretch. Motions follow the lane's nominal heading.
 	n := traffic(p, 8)
 	for k := 0; k < n; k++ {
 		if k%2 == 0 {
@@ -211,21 +231,24 @@ func genHighway(sc *Scenario, rng *rand.Rand, p GenParams) {
 			if k%4 == 0 {
 				lane = -5.25
 			}
-			w.AddCar(front+36+float64(k)*9+jitter(rng, 3), lane+jitter(rng, 0.3), jitter(rng, 0.05))
+			id := w.AddCar(front+36+float64(k)*9+jitter(rng, 3), lane+jitter(rng, 0.3), jitter(rng, 0.05))
+			sc.SetObjectMotion(id, HeadingVelocity(8+3*mr.Float64(), 0))
 		} else {
 			lane := 1.75
 			if k%4 == 1 {
 				lane = 5.25
 			}
-			w.AddCar(float64(k)*(front+50)/float64(n)+jitter(rng, 4), lane+jitter(rng, 0.3), math.Pi+jitter(rng, 0.05))
+			id := w.AddCar(float64(k)*(front+50)/float64(n)+jitter(rng, 4), lane+jitter(rng, 0.3), math.Pi+jitter(rng, 0.05))
+			sc.SetObjectMotion(id, HeadingVelocity(10+3*mr.Float64(), math.Pi))
 		}
 	}
 }
 
 // genIntersection builds an urban four-way crossing at the origin. Corner
 // buildings blind each approach; the fleet is spread across the four
-// arms, so fusing their views opens up the whole box.
-func genIntersection(sc *Scenario, rng *rand.Rand, p GenParams) {
+// arms, so fusing their views opens up the whole box. In time, the fleet
+// closes on the box while cross traffic flows through it.
+func genIntersection(sc *Scenario, rng, mr *rand.Rand, p GenParams) {
 	sc.Dataset = DatasetKITTI
 	sc.LiDAR = fleetHDL64()
 	w := sc.Scene
@@ -252,18 +275,23 @@ func genIntersection(sc *Scenario, rng *rand.Rand, p GenParams) {
 		case 3:
 			sc.Poses = append(sc.Poses, VehiclePose(-3, r, -math.Pi/2))
 		}
+		yaw := sc.Poses[len(sc.Poses)-1].R.Yaw()
+		sc.PoseMotions = append(sc.PoseMotions, HeadingVelocity(4.5+1.5*mr.Float64(), yaw))
 	}
 
 	// Cross traffic inside and around the box, queued cars on the arms
-	// beyond the fleet, pedestrians at the corners.
+	// beyond the fleet, pedestrians at the corners. Crossing cars move
+	// along their lane headings; the queues hold still.
 	queueStart := 13 + 8*math.Ceil(float64(p.Fleet)/4) + 6
 	n := traffic(p, 8)
 	for k := 0; k < n; k++ {
 		switch k % 4 {
 		case 0: // crossing the box north-south
-			w.AddCar(3+jitter(rng, 0.4), -8+float64(k)*4+jitter(rng, 1.5), math.Pi/2+jitter(rng, 0.05))
+			id := w.AddCar(3+jitter(rng, 0.4), -8+float64(k)*4+jitter(rng, 1.5), math.Pi/2+jitter(rng, 0.05))
+			sc.SetObjectMotion(id, HeadingVelocity(6+2*mr.Float64(), math.Pi/2))
 		case 1: // crossing east-west
-			w.AddCar(-8+float64(k)*4+jitter(rng, 1.5), 3+jitter(rng, 0.4), math.Pi+jitter(rng, 0.05))
+			id := w.AddCar(-8+float64(k)*4+jitter(rng, 1.5), 3+jitter(rng, 0.4), math.Pi+jitter(rng, 0.05))
+			sc.SetObjectMotion(id, HeadingVelocity(6+2*mr.Float64(), math.Pi))
 		case 2: // queued on the east arm
 			w.AddCar(queueStart+float64(k)*3+jitter(rng, 1), -3+jitter(rng, 0.3), 0)
 		case 3: // queued on the north arm
@@ -277,8 +305,9 @@ func genIntersection(sc *Scenario, rng *rand.Rand, p GenParams) {
 
 // genRoundabout builds a circulating ring around an occluding island.
 // Ring traffic disappears behind the island from any single arm; the
-// fleet's arms together see the full circle.
-func genRoundabout(sc *Scenario, rng *rand.Rand, p GenParams) {
+// fleet's arms together see the full circle. In time, ring cars orbit
+// along waypoint arcs while the fleet rolls in on its arms.
+func genRoundabout(sc *Scenario, rng, mr *rand.Rand, p GenParams) {
 	sc.Dataset = DatasetTJ
 	sc.LiDAR = lidar.VLP16()
 	w := sc.Scene
@@ -294,18 +323,23 @@ func genRoundabout(sc *Scenario, rng *rand.Rand, p GenParams) {
 		ang := float64(i%4)*math.Pi/2 + math.Pi/8
 		r := 16 + 7*float64(i/4) + jitter(rng, 1.5)
 		sc.Poses = append(sc.Poses, VehiclePose(r*math.Cos(ang), r*math.Sin(ang), ang+math.Pi))
+		sc.PoseMotions = append(sc.PoseMotions, HeadingVelocity(3.5+1.5*mr.Float64(), ang+math.Pi))
 	}
 
-	// Circulating cars on the ring plus cars leaving on exits.
+	// Circulating cars on the ring plus cars leaving on exits. Ring cars
+	// follow a waypoint arc around the circle (counter-clockwise, matching
+	// their tangent heading); exit cars drive straight out.
 	n := traffic(p, 6)
 	for k := 0; k < n; k++ {
 		ang := 2*math.Pi*float64(k)/float64(n) + jitter(rng, 0.15)
 		if k%3 == 2 {
 			r := 20 + jitter(rng, 2)
 			exit := ang + jitter(rng, 0.1)
-			w.AddCar(r*math.Cos(exit), r*math.Sin(exit), exit+jitter(rng, 0.1))
+			id := w.AddCar(r*math.Cos(exit), r*math.Sin(exit), exit+jitter(rng, 0.1))
+			sc.SetObjectMotion(id, HeadingVelocity(6+2*mr.Float64(), exit))
 		} else {
-			w.AddCar(11.5*math.Cos(ang), 11.5*math.Sin(ang), ang+math.Pi/2+jitter(rng, 0.08))
+			id := w.AddCar(11.5*math.Cos(ang), 11.5*math.Sin(ang), ang+math.Pi/2+jitter(rng, 0.08))
+			sc.SetObjectMotion(id, WaypointMotion(5+1.5*mr.Float64(), ringArc(11.5, ang)...))
 		}
 	}
 	w.AddBuilding(0, 34, 26, 10, 6+2*rng.Float64(), jitter(rng, 0.2))
@@ -314,8 +348,10 @@ func genRoundabout(sc *Scenario, rng *rand.Rand, p GenParams) {
 
 // genParkingLot builds a T&J-style lot: facing rows of parked cars
 // across a driving aisle, the fleet strung along the aisle so each
-// vehicle sees only its own stretch.
-func genParkingLot(sc *Scenario, rng *rand.Rand, p GenParams) {
+// vehicle sees only its own stretch. The world is parked — only the
+// fleet crawls along the aisle — so channel delay costs this family
+// almost nothing: the still-world contrast row of the episode sweeps.
+func genParkingLot(sc *Scenario, rng, mr *rand.Rand, p GenParams) {
 	sc.Dataset = DatasetTJ
 	sc.LiDAR = lidar.VLP16()
 	w := sc.Scene
@@ -323,6 +359,7 @@ func genParkingLot(sc *Scenario, rng *rand.Rand, p GenParams) {
 	gap := 5 + 3*rng.Float64()
 	for i := 0; i < p.Fleet; i++ {
 		sc.Poses = append(sc.Poses, VehiclePose(float64(i)*gap+jitter(rng, 0.8), 0, 0))
+		sc.PoseMotions = append(sc.PoseMotions, HeadingVelocity(1.2+0.8*mr.Float64(), 0))
 	}
 	span := float64(p.Fleet) * gap
 
@@ -347,15 +384,19 @@ func genParkingLot(sc *Scenario, rng *rand.Rand, p GenParams) {
 
 // genPlatoon builds a single-file convoy in a built-up canyon: every
 // vehicle occludes the next one's forward view, so the lead vehicle's
-// frame is what the tail of the platoon needs.
-func genPlatoon(sc *Scenario, rng *rand.Rand, p GenParams) {
+// frame is what the tail of the platoon needs. In time the platoon
+// cruises as one body (shared base speed, small per-vehicle spread)
+// behind a slower truck that slowly uncovers the stopped queue.
+func genPlatoon(sc *Scenario, rng, mr *rand.Rand, p GenParams) {
 	sc.Dataset = DatasetTJ
 	sc.LiDAR = lidar.VLP16()
 	w := sc.Scene
 
+	cruise := 7.5 + 1.5*mr.Float64()
 	x := 0.0
 	for i := 0; i < p.Fleet; i++ {
 		sc.Poses = append(sc.Poses, VehiclePose(x, jitter(rng, 0.3), 0))
+		sc.PoseMotions = append(sc.PoseMotions, HeadingVelocity(cruise+0.8*(mr.Float64()-0.5), 0))
 		x += 8 + 3*rng.Float64()
 	}
 	front := x
@@ -368,13 +409,14 @@ func genPlatoon(sc *Scenario, rng *rand.Rand, p GenParams) {
 
 	// The truck ahead of the lead vehicle hides the stopped traffic that
 	// only cooperation reveals to the platoon's tail.
-	w.AddTruck(front+9+jitter(rng, 2), jitter(rng, 0.4), 0)
+	sc.SetObjectMotion(w.AddTruck(front+9+jitter(rng, 2), jitter(rng, 0.4), 0), HeadingVelocity(5+1.5*mr.Float64(), 0))
 	n := traffic(p, 6)
 	for k := 0; k < n; k++ {
 		if k%2 == 0 { // stopped queue beyond the truck
 			w.AddCar(front+20+float64(k)*5+jitter(rng, 1.5), jitter(rng, 0.5), jitter(rng, 0.05))
 		} else { // oncoming lane
-			w.AddCar(float64(k)*(front+20)/float64(n)+jitter(rng, 3), 4.5+jitter(rng, 0.4), math.Pi+jitter(rng, 0.05))
+			id := w.AddCar(float64(k)*(front+20)/float64(n)+jitter(rng, 3), 4.5+jitter(rng, 0.4), math.Pi+jitter(rng, 0.05))
+			sc.SetObjectMotion(id, HeadingVelocity(8+3*mr.Float64(), math.Pi))
 		}
 	}
 }

@@ -73,6 +73,13 @@ type Scenario struct {
 	FrontFOV float64
 	// Seed fixes all randomness for the scenario.
 	Seed int64
+
+	// PoseMotions holds one Motion per pose (index-aligned with Poses);
+	// nil means every pose is stationary. Motions maps scene object IDs
+	// to their motions; absent objects are stationary. Together they give
+	// the scenario its time axis: At(t) advances every body along them.
+	PoseMotions []Motion
+	Motions     map[int]Motion
 }
 
 // DeltaD returns the ground-plane distance between the receiver and its

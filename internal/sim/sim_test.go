@@ -139,3 +139,22 @@ func TestTrajectoryDegenerate(t *testing.T) {
 		t.Error("zero-speed duration should be 0")
 	}
 }
+
+// TestTrajectoryHoldsHeadingPastEnd: a finished trajectory parks at the
+// final waypoint keeping the last segment's heading — it must not snap
+// back to yaw 0 (a teleporting heading for any path that ends off-axis).
+func TestTrajectoryHoldsHeadingPastEnd(t *testing.T) {
+	tr := NewTrajectory(10, geom.V3(0, 0, 0), geom.V3(10, 0, 0), geom.V3(10, 10, 0))
+	pose := tr.At(time.Hour)
+	if !pose.T.AlmostEqual(geom.V3(10, 10, 0), 1e-9) {
+		t.Errorf("end position = %v", pose.T)
+	}
+	if yaw := pose.R.Yaw(); math.Abs(yaw-math.Pi/2) > 1e-12 {
+		t.Errorf("parked heading = %v, want last-segment π/2", yaw)
+	}
+	// Duplicate end waypoints must not glitch the heading either.
+	dup := NewTrajectory(10, geom.V3(0, 0, 0), geom.V3(0, 10, 0), geom.V3(0, 10, 0))
+	if yaw := dup.At(time.Minute).R.Yaw(); math.Abs(yaw-math.Pi/2) > 1e-12 {
+		t.Errorf("heading with duplicated end = %v, want π/2", yaw)
+	}
+}

@@ -36,7 +36,10 @@ func (t *Trajectory) Duration() time.Duration {
 }
 
 // At returns the pose at the given elapsed time: position on the path and
-// heading along it. Past the end, the final pose holds.
+// heading along it. Past the end the final position holds with the last
+// segment's heading — a finished trajectory parks, it never snaps its
+// heading back to zero. Zero-length segments are skipped for heading, so
+// duplicated waypoints cannot glitch the yaw.
 func (t *Trajectory) At(elapsed time.Duration) geom.Transform {
 	if len(t.waypoints) == 0 {
 		return geom.IdentityTransform()
@@ -44,21 +47,22 @@ func (t *Trajectory) At(elapsed time.Duration) geom.Transform {
 	if len(t.waypoints) == 1 || t.speed <= 0 {
 		return geom.NewTransform(0, 0, 0, t.waypoints[0])
 	}
-	remaining := elapsed.Seconds() * t.speed
+	remaining := math.Max(elapsed.Seconds(), 0) * t.speed
+	pos := t.waypoints[0]
+	yaw := 0.0
 	for i := 1; i < len(t.waypoints); i++ {
 		seg := t.waypoints[i].Sub(t.waypoints[i-1])
 		segLen := seg.Norm()
-		if remaining <= segLen || i == len(t.waypoints)-1 {
-			frac := 1.0
-			if segLen > 0 {
-				frac = math.Min(remaining/segLen, 1)
-			}
-			pos := t.waypoints[i-1].Lerp(t.waypoints[i], frac)
-			yaw := math.Atan2(seg.Y, seg.X)
+		if segLen == 0 {
+			continue
+		}
+		yaw = math.Atan2(seg.Y, seg.X)
+		if remaining <= segLen {
+			pos = t.waypoints[i-1].Lerp(t.waypoints[i], remaining/segLen)
 			return geom.NewTransform(yaw, 0, 0, pos)
 		}
 		remaining -= segLen
+		pos = t.waypoints[i]
 	}
-	last := t.waypoints[len(t.waypoints)-1]
-	return geom.NewTransform(0, 0, 0, last)
+	return geom.NewTransform(yaw, 0, 0, pos)
 }

@@ -1,0 +1,65 @@
+package track
+
+// kalman1D is a constant-velocity Kalman filter over one ground-plane
+// axis: state (position, velocity), measurement (position). Two
+// independent instances track x and y — the axes are uncoupled under the
+// constant-velocity model, and two 2×2 filters keep every operation in
+// closed form with a fixed evaluation order, which the episode engine's
+// byte-for-byte determinism relies on.
+type kalman1D struct {
+	p, v float64 // state estimate
+
+	// covariance (symmetric 2×2)
+	ppp, ppv, pvv float64
+}
+
+// newKalman1D initialises a filter at the measured position with unknown
+// velocity: position variance starts at the measurement variance and
+// velocity variance at velVar.
+func newKalman1D(pos, measVar, velVar float64) kalman1D {
+	return kalman1D{p: pos, ppp: measVar, pvv: velVar}
+}
+
+// predictState returns the state extrapolated dt seconds ahead without
+// mutating the filter — the association gate uses it to place the
+// track's box at the incoming frame's timestamp.
+func (k kalman1D) predictState(dt float64) (pos, vel float64) {
+	return k.p + k.v*dt, k.v
+}
+
+// predict advances the filter dt seconds with process noise q (variance
+// of the white acceleration, discretised with the standard piecewise-
+// constant model).
+func (k *kalman1D) predict(dt, q float64) {
+	k.p += k.v * dt
+
+	// P = F P Fᵀ + Q
+	ppp := k.ppp + dt*(k.ppv+k.ppv) + dt*dt*k.pvv
+	ppv := k.ppv + dt*k.pvv
+	pvv := k.pvv
+
+	dt2 := dt * dt
+	k.ppp = ppp + q*dt2*dt2/4
+	k.ppv = ppv + q*dt2*dt/2
+	k.pvv = pvv + q*dt2
+}
+
+// update folds in a position measurement with variance r.
+func (k *kalman1D) update(meas, r float64) {
+	s := k.ppp + r
+	if s <= 0 {
+		return
+	}
+	gp := k.ppp / s // Kalman gain, position row
+	gv := k.ppv / s // Kalman gain, velocity row
+
+	innov := meas - k.p
+	k.p += gp * innov
+	k.v += gv * innov
+
+	// P = (I - G H) P
+	ppp := (1 - gp) * k.ppp
+	ppv := (1 - gp) * k.ppv
+	pvv := k.pvv - gv*k.ppv
+	k.ppp, k.ppv, k.pvv = ppp, ppv, pvv
+}
