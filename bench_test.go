@@ -357,12 +357,8 @@ func middleTensor(b *testing.B) (*spod.SparseTensor, geom.AABB) {
 	ground := single.EstimateGroundZ()
 	nonGround := single.RemoveGroundPlane(ground, 0.25)
 	grid := spod.Voxelize(nonGround, 0.2, 0.25, ground)
-	t := &spod.SparseTensor{Features: make(map[pointcloud.VoxelKey][]float64, len(grid.Cells))}
-	for k, f := range grid.Cells {
-		t.Features[k] = []float64{f.Density, f.SpanZ, f.MeanIntensity}
-	}
 	bounds, _ := nonGround.Bounds()
-	return t, bounds
+	return spod.NewSparseTensor(grid), bounds
 }
 
 func BenchmarkSparseConv(b *testing.B) {
@@ -398,7 +394,7 @@ func BenchmarkDenseConvEquivalent(b *testing.B) {
 					for dz := int32(-1); dz <= 1; dz++ {
 						for dy := int32(-1); dy <= 1; dy++ {
 							for dx := int32(-1); dx <= 1; dx++ {
-								nb, ok := tensor.Features[pointcloud.VoxelKey{X: int32(x) + dx, Y: int32(y) + dy, Z: int32(z) + dz}]
+								nb, ok := tensor.FeatureAt(pointcloud.VoxelKey{X: int32(x) + dx, Y: int32(y) + dy, Z: int32(z) + dz})
 								if !ok {
 									continue
 								}

@@ -94,6 +94,10 @@ type (
 	DetectorConfig = spod.Config
 	// DetectorStats is per-stage instrumentation of one detection pass.
 	DetectorStats = spod.Stats
+	// DetectorScratch owns a detection pass's reusable buffers; hold one
+	// per goroutine and thread it through DetectWithScratch for
+	// allocation-free steady-state detection.
+	DetectorScratch = spod.DetectorScratch
 	// DriftMode selects a Fig. 10 GPS skew regime.
 	DriftMode = fusion.DriftMode
 	// CaseOutcome is a full single-vs-cooperative case evaluation.
@@ -161,6 +165,10 @@ func DefaultDetectorConfig() DetectorConfig { return spod.DefaultConfig() }
 
 // NewDetector builds a SPOD detector.
 func NewDetector(cfg DetectorConfig) *Detector { return spod.New(cfg) }
+
+// NewDetectorScratch returns an empty detector scratch for reuse-driven
+// detection loops.
+func NewDetectorScratch() *DetectorScratch { return spod.NewScratch() }
 
 // Align maps a transmitter's cloud into the receiver's sensor frame
 // using both vehicles' GPS/IMU states (Eqs. 1 and 3).

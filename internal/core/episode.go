@@ -119,11 +119,11 @@ type labKey struct {
 
 // labEntry is a capture computed exactly once per lab.
 type labEntry struct {
-	once       sync.Once
-	scan       lidar.Scan
-	pose       geom.Transform // world pose at capture
-	payloadLen int            // encoded size of the raw (cropped) capture
-	err        error
+	once    sync.Once
+	scan    lidar.Scan
+	pose    geom.Transform // world pose at capture
+	payload []byte         // quantized encode of the raw (cropped) capture
+	err     error
 
 	detOnce sync.Once
 	dets    []spod.Detection // single-shot detections on the capture
@@ -180,15 +180,18 @@ func (l *EpisodeLab) capture(i int, t time.Duration) *labEntry {
 			e.err = fmt.Errorf("core: encoding capture of pose %d at %v: %w", i, t, err)
 			return
 		}
-		e.payloadLen = len(payload)
+		e.payload = payload
 	})
 	return e
 }
 
-// singleDetect runs (once) the single-shot detector on a capture.
-func (l *EpisodeLab) singleDetect(e *labEntry) []spod.Detection {
+// singleDetect runs (once) the single-shot detector on a capture,
+// borrowing the caller's scratch. Whichever frame job reaches a capture
+// first computes it; the result is a pure function of the capture, so
+// the winner's identity never shows in the output.
+func (l *EpisodeLab) singleDetect(e *labEntry, s *spod.DetectorScratch) []spod.Detection {
 	e.detOnce.Do(func() {
-		e.dets, _ = spod.New(l.detectorConfig()).DetectWithStats(l.cropFOV(e.scan.Cloud))
+		e.dets, _ = spod.New(l.detectorConfig()).DetectWithStatsScratch(l.cropFOV(e.scan.Cloud), s)
 	})
 	return e.dets
 }
@@ -275,7 +278,7 @@ func (l *EpisodeLab) Run(opts EpisodeOptions) (*EpisodeResult, error) {
 	for j := 0; j < opts.Frames; j++ {
 		sizes := make([]int, len(senders))
 		for si, s := range senders {
-			sizes[si] = l.capture(s, at(j)).payloadLen
+			sizes[si] = len(l.capture(s, at(j)).payload)
 		}
 		plans[j] = sched.Plan(sizes)
 	}
@@ -298,13 +301,17 @@ func (l *EpisodeLab) Run(opts EpisodeOptions) (*EpisodeResult, error) {
 	}
 
 	// Phase 3 — frames fan out: sense → compensate → encode → align →
-	// merge → detect → score, all pure per-frame work.
+	// merge → detect → score, all pure per-frame work. Each worker owns
+	// one detector scratch shared by its frames' single-shot and fused
+	// passes.
 	type frameEval struct {
 		frame     EpisodeFrame
 		assoc     TruthAssoc
 		worldDets []spod.Detection
 	}
-	evals, err := parallel.MapErr(opts.Workers, opts.Frames, func(k int) (frameEval, error) {
+	scratches := spod.NewScratches(parallel.WorkerCount(opts.Workers, opts.Frames))
+	evals, err := parallel.MapErrWorker(opts.Workers, opts.Frames, func(w, k int) (frameEval, error) {
+		scratch := scratches[w]
 		tk := at(k)
 		snapEval := sc.At(tk)
 		own := l.capture(receiver, tk)
@@ -312,17 +319,19 @@ func (l *EpisodeLab) Run(opts EpisodeOptions) (*EpisodeResult, error) {
 		recvState := l.stateAt(own.pose)
 
 		fe := frameEval{frame: EpisodeFrame{Index: k, At: tk, SenderFrame: rounds[k]}}
-		singles := l.singleDetect(own)
-		fe.frame.Single = EvaluateDetections(snapEval, receiver, nil, singles)
+		singles := l.singleDetect(own, scratch)
 
 		var coopDets []spod.Detection
 		if j := rounds[k]; j < 0 {
 			// Warm-up: no round has cleared the channel yet. The receiver
-			// is on its own; the track layer still consumes the frames.
+			// is on its own; the track layer still consumes the frames —
+			// one truth match scores both columns.
 			coopDets = singles
 			fe.assoc = EvaluateDetectionsAssoc(snapEval, receiver, nil, singles)
+			fe.frame.Single = fe.assoc.Stats
 			fe.frame.Coop = fe.assoc.Stats
 		} else {
+			fe.frame.Single = EvaluateDetections(snapEval, receiver, nil, singles)
 			tj := at(j)
 			fe.frame.Staleness = tk - tj
 			fe.frame.RoundLatency = plans[j].Ready()
@@ -331,13 +340,17 @@ func (l *EpisodeLab) Run(opts EpisodeOptions) (*EpisodeResult, error) {
 			deltaD := 0.0
 			for _, s := range senders {
 				cap := l.capture(s, tj)
-				cloud := cap.scan.Cloud
+				// Compensation warps the cloud to this frame's consumption
+				// time, so it must re-encode; the uncompensated broadcast
+				// is exactly the capture's cached encode.
+				payload := cap.payload
 				if opts.Compensate {
-					cloud = CompensateScan(sc, cap.scan, cap.pose, tj, tk)
-				}
-				payload, err := pointcloud.EncodeQuantized(l.cropFOV(cloud))
-				if err != nil {
-					return frameEval{}, fmt.Errorf("core: frame %d sender %d: %w", k, s, err)
+					cloud := CompensateScan(sc, cap.scan, cap.pose, tj, tk)
+					var err error
+					payload, err = pointcloud.EncodeQuantized(l.cropFOV(cloud))
+					if err != nil {
+						return frameEval{}, fmt.Errorf("core: frame %d sender %d: %w", k, s, err)
+					}
 				}
 				fe.frame.PayloadBytes += len(payload)
 				decoded, err := pointcloud.Decode(payload)
@@ -351,7 +364,7 @@ func (l *EpisodeLab) Run(opts EpisodeOptions) (*EpisodeResult, error) {
 			}
 			merged := fusion.Merge(ownCloud, aligned...)
 			coopCfg := spod.CoopConfig(l.detectorConfig(), deltaD)
-			coopDets, _ = spod.New(coopCfg).DetectWithStats(merged)
+			coopDets, _ = spod.New(coopCfg).DetectWithStatsScratch(merged, scratch)
 			fe.assoc = EvaluateDetectionsAssoc(snapEval, receiver, participants, coopDets)
 			fe.frame.Coop = fe.assoc.Stats
 		}

@@ -91,6 +91,14 @@ func (v *Vehicle) CooperativeCloud(pkgs ...ExchangePackage) (*pointcloud.Cloud, 
 // preprocessing and widens its range gate to cover every contributing
 // vehicle's surroundings.
 func (v *Vehicle) CooperativeDetect(pkgs ...ExchangePackage) ([]spod.Detection, spod.Stats, error) {
+	return v.CooperativeDetectWith(nil, pkgs...)
+}
+
+// CooperativeDetectWith is CooperativeDetect reusing the caller's
+// detector scratch (nil draws from the shared pool). A scratch serves
+// any configuration, so the per-call cooperative detector costs only its
+// config struct.
+func (v *Vehicle) CooperativeDetectWith(s *spod.DetectorScratch, pkgs ...ExchangePackage) ([]spod.Detection, spod.Stats, error) {
 	merged, err := v.CooperativeCloud(pkgs...)
 	if err != nil {
 		return nil, spod.Stats{}, err
@@ -102,6 +110,6 @@ func (v *Vehicle) CooperativeDetect(pkgs ...ExchangePackage) ([]spod.Detection, 
 		}
 	}
 	coop := spod.New(spod.CoopConfig(v.detector.Config(), maxDist))
-	dets, stats := coop.DetectWithStats(merged)
+	dets, stats := coop.DetectWithStatsScratch(merged, s)
 	return dets, stats, nil
 }

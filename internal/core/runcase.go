@@ -196,6 +196,12 @@ func columnCells(truthBoxes []geom.Box, inArea []bool, dets []spod.Detection) ([
 // sender's transmitted cloud (K clouds for an N-way fleet case), with
 // the paper's cell bookkeeping.
 func (r *ScenarioRunner) RunCase(c scene.CoopCase, opts RunOptions) (*CaseOutcome, error) {
+	return r.runCase(c, opts, nil)
+}
+
+// runCase is RunCase detecting inside the given scratch (nil draws from
+// the shared pool); RunAll threads one scratch per worker through here.
+func (r *ScenarioRunner) runCase(c scene.CoopCase, opts RunOptions, scratch *spod.DetectorScratch) (*CaseOutcome, error) {
 	sc := r.sc
 	vi, vj := r.vehicles[c.I], r.vehicles[c.J]
 	senders := c.Senders()
@@ -210,8 +216,8 @@ func (r *ScenarioRunner) RunCase(c scene.CoopCase, opts RunOptions) (*CaseOutcom
 		CloudPointsJ: cloudJ.Len(),
 	}
 
-	out.DetsI, out.StatsI = vi.DetectOn(cloudI)
-	out.DetsJ, out.StatsJ = vj.DetectOn(cloudJ)
+	out.DetsI, out.StatsI = vi.DetectOnWith(scratch, cloudI)
+	out.DetsJ, out.StatsJ = vj.DetectOnWith(scratch, cloudJ)
 
 	// Exchange: every sender transmits its (optionally ROI-filtered)
 	// cloud to the receiver i.
@@ -263,7 +269,7 @@ func (r *ScenarioRunner) RunCase(c scene.CoopCase, opts RunOptions) (*CaseOutcom
 	// Cooperative pass: same pipeline with merged-cloud preprocessing and
 	// the detection area widened to the union of both vehicles' areas.
 	coopCfg := spod.CoopConfig(vi.detector.Config(), out.DeltaD)
-	out.DetsCoop, out.StatsCoop = spod.New(coopCfg).DetectWithStats(merged)
+	out.DetsCoop, out.StatsCoop = spod.New(coopCfg).DetectWithStatsScratch(merged, scratch)
 
 	// Ground truth per column, in the observing vehicle's sensor frame.
 	cars := sc.Scene.Cars()
@@ -316,10 +322,13 @@ func (r *ScenarioRunner) RunCase(c scene.CoopCase, opts RunOptions) (*CaseOutcom
 // Pose clouds are pre-sensed in parallel first — each vehicle owns its
 // seeded RNG — then every case computes independently and writes its
 // outcome back by index, so the result slice is identical in order and
-// values to a sequential loop over the cases.
+// values to a sequential loop over the cases. Each worker owns one
+// detector scratch, so the fan-out's detector passes stop allocating
+// once the buffers reach their high-water mark.
 func (r *ScenarioRunner) RunAll(opts RunOptions) ([]*CaseOutcome, error) {
 	r.PreSense()
-	return parallel.MapErr(r.workers, len(r.sc.Cases), func(i int) (*CaseOutcome, error) {
-		return r.RunCase(r.sc.Cases[i], opts)
+	scratches := spod.NewScratches(parallel.WorkerCount(r.workers, len(r.sc.Cases)))
+	return parallel.MapErrWorker(r.workers, len(r.sc.Cases), func(w, i int) (*CaseOutcome, error) {
+		return r.runCase(r.sc.Cases[i], opts, scratches[w])
 	})
 }

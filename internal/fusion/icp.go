@@ -76,35 +76,14 @@ func RefineAlignment(reference, source *pointcloud.Cloud, cfg ICPConfig) geom.Tr
 			rxs = append(rxs, q.X)
 			rys = append(rys, q.Y)
 		}
-		if len(sxs) < 8 {
+		dyaw, tx, ty, ok := rigidFit2D(sxs, sys, rxs, rys)
+		if !ok {
+			// Too few pairs, or a degenerate (coincident/collinear) pair
+			// set that cannot constrain a rotation: stop refining rather
+			// than apply an unstable yaw. On the first iteration this
+			// returns the identity correction.
 			return correction
 		}
-		// Closed-form 2D rigid fit (Umeyama/Procrustes without scale).
-		n := float64(len(sxs))
-		var msx, msy, mrx, mry float64
-		for i := range sxs {
-			msx += sxs[i]
-			msy += sys[i]
-			mrx += rxs[i]
-			mry += rys[i]
-		}
-		msx /= n
-		msy /= n
-		mrx /= n
-		mry /= n
-		var sxx, sxy, syx, syy float64
-		for i := range sxs {
-			dx, dy := sxs[i]-msx, sys[i]-msy
-			ex, ey := rxs[i]-mrx, rys[i]-mry
-			sxx += dx * ex
-			sxy += dx * ey
-			syx += dy * ex
-			syy += dy * ey
-		}
-		dyaw := math.Atan2(sxy-syx, sxx+syy)
-		c, s := math.Cos(dyaw), math.Sin(dyaw)
-		tx := mrx - (c*msx - s*msy)
-		ty := mry - (s*msx + c*msy)
 
 		update := geom.NewTransform(dyaw, 0, 0, geom.V3(tx, ty, 0))
 		correction = update.Compose(correction)
@@ -113,4 +92,83 @@ func RefineAlignment(reference, source *pointcloud.Cloud, cfg ICPConfig) geom.Tr
 		}
 	}
 	return correction
+}
+
+// minPairs is the smallest correspondence set a rigid fit accepts.
+const minPairs = 8
+
+// rigidFit2D solves the closed-form 2D rigid registration
+// (Umeyama/Procrustes without scale) mapping the source points onto the
+// reference points: R(dyaw)·s + (tx, ty) ≈ r.
+//
+// ok is false when the problem is unsolvable or numerically degenerate:
+// fewer than minPairs correspondences; all source or all reference
+// points coincident (zero scatter — any rotation fits equally); or a
+// collinear point set, whose cross-covariance loses rank and lets noise
+// pick the yaw. The caller must treat !ok as "no update" rather than
+// trust the angle Atan2 would produce from near-zero sums.
+func rigidFit2D(sxs, sys, rxs, rys []float64) (dyaw, tx, ty float64, ok bool) {
+	if len(sxs) < minPairs {
+		return 0, 0, 0, false
+	}
+	n := float64(len(sxs))
+	var msx, msy, mrx, mry float64
+	for i := range sxs {
+		msx += sxs[i]
+		msy += sys[i]
+		mrx += rxs[i]
+		mry += rys[i]
+	}
+	msx /= n
+	msy /= n
+	mrx /= n
+	mry /= n
+	// Per-set scatter (for the degeneracy gates) and cross-covariance
+	// (for the rotation).
+	var sss, srr float64           // Σ|s-ms|², Σ|r-mr|²
+	var sxxS, syyS, sxyS float64   // source scatter matrix
+	var exxR, eyyR, exyR float64   // reference scatter matrix
+	var sxx, sxy, syx, syy float64 // cross-covariance
+	for i := range sxs {
+		dx, dy := sxs[i]-msx, sys[i]-msy
+		ex, ey := rxs[i]-mrx, rys[i]-mry
+		sss += dx*dx + dy*dy
+		srr += ex*ex + ey*ey
+		sxxS += dx * dx
+		syyS += dy * dy
+		sxyS += dx * dy
+		exxR += ex * ex
+		eyyR += ey * ey
+		exyR += ex * ey
+		sxx += dx * ex
+		sxy += dx * ey
+		syx += dy * ex
+		syy += dy * ey
+	}
+	// Coincident: a point heap constrains translation but no rotation.
+	const eps = 1e-9
+	if sss/n < eps || srr/n < eps {
+		return 0, 0, 0, false
+	}
+	// Collinear: when either set's scatter matrix loses a dimension (its
+	// smaller eigenvalue vanishes relative to the larger), the
+	// cross-covariance drops to rank 1, one rotation direction carries no
+	// information, and the fitted yaw would follow the noise in it. Both
+	// sides can degenerate independently — nearest-neighbour gathering
+	// happily matches a spread source against a thin wall — so gate both.
+	degenerate := func(xx, yy, xy float64) bool {
+		tr := xx + yy
+		det := xx*yy - xy*xy
+		disc := math.Sqrt(math.Max(0, tr*tr/4-det))
+		lMin, lMax := tr/2-disc, tr/2+disc
+		return lMin < 1e-6*lMax
+	}
+	if degenerate(sxxS, syyS, sxyS) || degenerate(exxR, eyyR, exyR) {
+		return 0, 0, 0, false
+	}
+	dyaw = math.Atan2(sxy-syx, sxx+syy)
+	c, s := math.Cos(dyaw), math.Sin(dyaw)
+	tx = mrx - (c*msx - s*msy)
+	ty = mry - (s*msx + c*msy)
+	return dyaw, tx, ty, true
 }

@@ -133,6 +133,11 @@ func SelfTest(w io.Writer, opts SelfTestOptions) error {
 		trackers[i] = track.New(track.DefaultConfig())
 	}
 
+	// One detector scratch per phase-2 worker, reused across frames: the
+	// per-round single-shot and fused passes then stop allocating once
+	// the buffers warm up.
+	scratches := spod.NewScratches(parallel.WorkerCount(opts.Workers, opts.Fleet))
+
 	allReports := make([][]selfReport, frames)
 	for f := 0; f < frames; f++ {
 		var at time.Duration
@@ -176,7 +181,8 @@ func SelfTest(w io.Writer, opts SelfTestOptions) error {
 		// Phase 2 — every vehicle requests a fusion round and detects on
 		// the merge. Rounds read the now-immutable cache, so outcomes
 		// depend only on the scenario, the frame, the budget and k.
-		reports, err := parallel.MapErr(opts.Workers, opts.Fleet, func(i int) (selfReport, error) {
+		reports, err := parallel.MapErrWorker(opts.Workers, opts.Fleet, func(w, i int) (selfReport, error) {
+			scratch := scratches[w]
 			v := vehicles[i]
 			rframes, err := clients[i].RequestRound(v.State(), k, budgetBps)
 			if err != nil {
@@ -184,7 +190,7 @@ func SelfTest(w io.Writer, opts SelfTestOptions) error {
 			}
 			rep := selfReport{id: v.ID, categories: make(map[roi.Category]int)}
 
-			singles, _, err := v.Detect()
+			singles, _, err := v.DetectWith(scratch)
 			if err != nil {
 				return selfReport{}, err
 			}
@@ -209,7 +215,7 @@ func SelfTest(w io.Writer, opts SelfTestOptions) error {
 					rep.downsampled++
 				}
 			}
-			coopDets, _, err := v.CooperativeDetect(pkgs...)
+			coopDets, _, err := v.CooperativeDetectWith(scratch, pkgs...)
 			if err != nil {
 				return selfReport{}, err
 			}

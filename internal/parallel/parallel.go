@@ -29,22 +29,44 @@ func Normalize(workers int) int {
 	return workers
 }
 
+// WorkerCount returns the number of worker slots For/ForWorker will use
+// for n items at the given workers knob — the size callers give
+// per-worker state slices (scratch buffers, local accumulators).
+func WorkerCount(workers, n int) int {
+	workers = Normalize(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
 // For runs fn(i) for every i in [0, n) on at most workers goroutines.
 // Items are claimed dynamically (work stealing via a shared counter), so
 // uneven item costs still balance. workers <= 1 (after normalising 0 and
 // negatives to DefaultWorkers) runs the loop inline with no goroutines —
 // the sequential path is literally a for loop.
 func For(workers, n int, fn func(i int)) {
+	ForWorker(workers, n, func(_, i int) { fn(i) })
+}
+
+// ForWorker is For where fn additionally receives the slot index of the
+// goroutine running the item: 0 ≤ worker < WorkerCount(workers, n).
+// Items claimed by the same slot run sequentially, so per-slot state —
+// a detector scratch, a local accumulator — needs no locking. Which slot
+// runs which item is scheduling-dependent; deterministic callers must
+// keep per-slot state free of item-visible effects (reused buffers are
+// fine, carried-over values are not).
+func ForWorker(workers, n int, fn func(worker, i int)) {
 	if n <= 0 {
 		return
 	}
-	workers = Normalize(workers)
-	if workers > n {
-		workers = n
-	}
+	workers = WorkerCount(workers, n)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -52,16 +74,16 @@ func For(workers, n int, fn func(i int)) {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				fn(i)
+				fn(worker, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 }
@@ -72,12 +94,17 @@ func For(workers, n int, fn func(i int)) {
 // a sequential loop would have hit first, keeping failure reporting
 // deterministic.
 func ForErr(workers, n int, fn func(i int) error) error {
+	return ForErrWorker(workers, n, func(_, i int) error { return fn(i) })
+}
+
+// ForErrWorker is ForErr with the worker slot index (see ForWorker).
+func ForErrWorker(workers, n int, fn func(worker, i int) error) error {
 	if n <= 0 {
 		return nil
 	}
 	errs := make([]error, n)
-	For(workers, n, func(i int) {
-		errs[i] = fn(i)
+	ForWorker(workers, n, func(w, i int) {
+		errs[i] = fn(w, i)
 	})
 	for _, err := range errs {
 		if err != nil {
@@ -101,9 +128,16 @@ func Map[T any](workers, n int, fn func(i int) T) []T {
 // MapErr is Map with error-returning work; on error it returns nil
 // results and the lowest-indexed item's error.
 func MapErr[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapErrWorker(workers, n, func(_, i int) (T, error) { return fn(i) })
+}
+
+// MapErrWorker is MapErr where fn additionally receives the worker slot
+// index (see ForWorker) — the hook for threading per-worker scratch
+// state through a parallel map without locking.
+func MapErrWorker[T any](workers, n int, fn func(worker, i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
-	err := ForErr(workers, n, func(i int) error {
-		v, err := fn(i)
+	err := ForErrWorker(workers, n, func(w, i int) error {
+		v, err := fn(w, i)
 		if err != nil {
 			return err
 		}

@@ -68,6 +68,10 @@ func (c *Cloud) Points() []Point {
 // points exposes the backing slice to package-internal fast paths.
 func (c *Cloud) points() []Point { return c.pts }
 
+// Reset empties the cloud, keeping its capacity — the reuse hook for
+// per-frame staging buffers (see spod.DetectorScratch).
+func (c *Cloud) Reset() { c.pts = c.pts[:0] }
+
 // Append adds points to the cloud.
 func (c *Cloud) Append(pts ...Point) { c.pts = append(c.pts, pts...) }
 

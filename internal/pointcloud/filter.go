@@ -9,13 +9,22 @@ import (
 // Filter returns a new cloud containing the points for which keep returns
 // true.
 func (c *Cloud) Filter(keep func(Point) bool) *Cloud {
-	out := &Cloud{pts: make([]Point, 0, len(c.pts))}
-	for _, p := range c.pts {
+	return c.FilterInto(&Cloud{pts: make([]Point, 0, len(c.pts))}, keep)
+}
+
+// FilterInto appends the points for which keep returns true into dst
+// (reset first) and returns dst, so a reused destination makes filtering
+// allocation-free. dst == c filters in place (the write index never
+// overtakes the read index).
+func (c *Cloud) FilterInto(dst *Cloud, keep func(Point) bool) *Cloud {
+	src := c.pts // capture before the reset in case dst == c
+	dst.pts = dst.pts[:0]
+	for _, p := range src {
 		if keep(p) {
-			out.pts = append(out.pts, p)
+			dst.pts = append(dst.pts, p)
 		}
 	}
-	return out
+	return dst
 }
 
 // CropAABB returns the points inside the axis-aligned box.
@@ -57,6 +66,12 @@ func (c *Cloud) CropHeight(minZ, maxZ float64) *Cloud {
 // to fit it from the data.
 func (c *Cloud) RemoveGroundPlane(groundZ, tol float64) *Cloud {
 	return c.Filter(func(p Point) bool { return p.Z > groundZ+tol })
+}
+
+// RemoveGroundPlaneInto is RemoveGroundPlane writing into dst (see
+// FilterInto).
+func (c *Cloud) RemoveGroundPlaneInto(dst *Cloud, groundZ, tol float64) *Cloud {
+	return c.FilterInto(dst, func(p Point) bool { return p.Z > groundZ+tol })
 }
 
 // EstimateGroundZ estimates the ground height as a low percentile of the

@@ -25,41 +25,53 @@ func KeyFor(x, y, z, voxelSize float64) VoxelKey {
 // way to bound detector input size regardless of how many vehicles
 // contributed.
 func (c *Cloud) VoxelDownsample(voxelSize float64) *Cloud {
+	return c.VoxelDownsampleInto(&Cloud{}, voxelSize)
+}
+
+// VoxelDownsampleInto is VoxelDownsample writing into dst (reset first),
+// so a reused destination amortises the output allocation. The output is
+// deterministic regardless of destination reuse: voxels appear in
+// first-point order and each accumulates its centroid in cloud point
+// order — the map below only assigns slot numbers and is never iterated.
+func (c *Cloud) VoxelDownsampleInto(dst *Cloud, voxelSize float64) *Cloud {
 	if voxelSize <= 0 || c.Len() == 0 {
-		return c.Clone()
+		src := c.pts
+		dst.pts = append(dst.pts[:0], src...)
+		return dst
 	}
 	type acc struct {
 		x, y, z, r float64
 		n          int
 	}
-	cells := make(map[VoxelKey]*acc, c.Len()/2+1)
-	order := make([]VoxelKey, 0, c.Len()/2+1)
+	slot := make(map[VoxelKey]int32, c.Len()/2+1)
+	accs := make([]acc, 0, c.Len()/2+1)
 	for _, p := range c.pts {
 		k := KeyFor(p.X, p.Y, p.Z, voxelSize)
-		a, ok := cells[k]
+		si, ok := slot[k]
 		if !ok {
-			a = &acc{}
-			cells[k] = a
-			order = append(order, k)
+			si = int32(len(accs))
+			accs = append(accs, acc{})
+			slot[k] = si
 		}
+		a := &accs[si]
 		a.x += p.X
 		a.y += p.Y
 		a.z += p.Z
 		a.r += p.Reflectance
 		a.n++
 	}
-	out := &Cloud{pts: make([]Point, 0, len(cells))}
-	for _, k := range order {
-		a := cells[k]
+	dst.pts = dst.pts[:0]
+	for i := range accs {
+		a := &accs[i]
 		inv := 1 / float64(a.n)
-		out.pts = append(out.pts, Point{
+		dst.pts = append(dst.pts, Point{
 			X:           a.x * inv,
 			Y:           a.y * inv,
 			Z:           a.z * inv,
 			Reflectance: a.r * inv,
 		})
 	}
-	return out
+	return dst
 }
 
 // VoxelOccupancy returns the number of occupied voxels at the given voxel

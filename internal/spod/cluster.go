@@ -64,7 +64,8 @@ func (cd *ClusterDetector) Detect(cloud *pointcloud.Cloud) []Detection {
 			dets = append(dets, det)
 		}
 	}
-	return nms(dets, 0.1)
+	// The slice is local, so suppression can reorder it in place.
+	return nmsInPlace(dets, 0.1)
 }
 
 // fit builds a PCA box around the cluster and applies the rigid car-size

@@ -11,18 +11,59 @@ const convChannels = 3
 // SparseTensor is a sparse 3D feature map: only voxels with data carry a
 // feature vector. This mirrors the sparse convolutional middle layers of
 // SECOND/SPOD, where "output points are not computed if there is no
-// related input points".
+// related input points". Sites are stored in the voxel grid's fixed
+// column-major order (Cols ascending, z ascending within a column), with
+// the convChannels feature planes flattened into Feats: site i owns
+// Feats[i*convChannels : (i+1)*convChannels]. A convolution's output
+// sites equal its input sites, so layers share Cols/ColOff/Zs and only
+// exchange feature planes — the double buffer a DetectorScratch reuses.
 type SparseTensor struct {
-	Features map[pointcloud.VoxelKey][]float64
+	Cols   []colKey
+	ColOff []int32
+	Zs     []int32
+	Feats  []float64
 }
 
-// toSparseTensor lifts a voxel grid into the initial feature tensor.
-func toSparseTensor(g *VoxelGrid) *SparseTensor {
-	t := &SparseTensor{Features: make(map[pointcloud.VoxelKey][]float64, len(g.Cells))}
-	for k, f := range g.Cells {
-		t.Features[k] = []float64{f.Density, f.SpanZ, f.MeanIntensity}
+// Sites returns the number of occupied voxel sites.
+func (t *SparseTensor) Sites() int { return len(t.Zs) }
+
+// Feature returns site i's feature vector (aliasing the tensor).
+func (t *SparseTensor) Feature(i int) []float64 {
+	return t.Feats[i*convChannels : (i+1)*convChannels]
+}
+
+// FeatureAt returns the feature vector of the site at k, if occupied.
+// The slice aliases the tensor.
+func (t *SparseTensor) FeatureAt(k pointcloud.VoxelKey) ([]float64, bool) {
+	c := findCol(t.Cols, packXY(k.X, k.Y))
+	if c < 0 {
+		return nil, false
 	}
+	for i := t.ColOff[c]; i < t.ColOff[c+1]; i++ {
+		if t.Zs[i] == k.Z {
+			return t.Feature(int(i)), true
+		}
+	}
+	return nil, false
+}
+
+// NewSparseTensor lifts a voxel grid into the initial feature tensor —
+// the caller-owned form of what the detector builds in scratch.
+func NewSparseTensor(g *VoxelGrid) *SparseTensor {
+	t, _ := toSparseTensor(g, nil)
 	return t
+}
+
+// toSparseTensor lifts a voxel grid into the initial feature tensor,
+// writing the feature planes into feats (grown as needed).
+func toSparseTensor(g *VoxelGrid, feats []float64) (*SparseTensor, []float64) {
+	feats = grow(feats, len(g.Feats)*convChannels)
+	for i, f := range g.Feats {
+		feats[i*convChannels+0] = f.Density
+		feats[i*convChannels+1] = f.SpanZ
+		feats[i*convChannels+2] = f.MeanIntensity
+	}
+	return &SparseTensor{Cols: g.Cols, ColOff: g.ColOff, Zs: g.Zs, Feats: feats}, feats
 }
 
 // ConvWeights parameterises one sparse convolution layer: a 3×3×3
@@ -87,45 +128,105 @@ func DefaultMiddleLayers() []ConvWeights {
 
 // Apply runs the sparse convolution. Output sites are exactly the occupied
 // input sites: the "submanifold" sparse convolution that keeps compute
-// proportional to occupancy.
+// proportional to occupancy. The output shares the input's site layout
+// and allocates only its feature planes.
 func (w ConvWeights) Apply(in *SparseTensor) *SparseTensor {
-	out := &SparseTensor{Features: make(map[pointcloud.VoxelKey][]float64, len(in.Features))}
-	for k := range in.Features {
-		var spatial [convChannels]float64
-		for dz := int32(-1); dz <= 1; dz++ {
-			for dy := int32(-1); dy <= 1; dy++ {
-				for dx := int32(-1); dx <= 1; dx++ {
-					nb, ok := in.Features[pointcloud.VoxelKey{X: k.X + dx, Y: k.Y + dy, Z: k.Z + dz}]
-					if !ok {
-						continue
-					}
-					tap := w.Spatial[dz+1][dy+1][dx+1]
-					for c := 0; c < convChannels; c++ {
-						spatial[c] += tap * nb[c]
-					}
-				}
-			}
-		}
-		feat := make([]float64, convChannels)
-		for o := 0; o < convChannels; o++ {
-			v := w.Bias[o]
-			for c := 0; c < convChannels; c++ {
-				v += w.Mix[o][c] * spatial[c]
-			}
-			if v < 0 { // ReLU
-				v = 0
-			}
-			feat[o] = v
-		}
-		out.Features[k] = feat
+	out := &SparseTensor{
+		Cols:   in.Cols,
+		ColOff: in.ColOff,
+		Zs:     in.Zs,
+		Feats:  make([]float64, len(in.Feats)),
 	}
+	w.applyInto(in, out.Feats)
 	return out
 }
 
-// runMiddleLayers applies the layer stack in order.
-func runMiddleLayers(t *SparseTensor, layers []ConvWeights) *SparseTensor {
-	for _, l := range layers {
-		t = l.Apply(t)
+// applyInto writes the convolution of in to the feature plane outFeats
+// (len(in.Feats)). Sites are processed column by column; within a site,
+// taps accumulate in the fixed (dz, dy, dx) kernel order, skipping
+// unoccupied neighbours — the order is a constant of the layout, so the
+// floating-point sums are identical on every run.
+func (w ConvWeights) applyInto(in *SparseTensor, outFeats []float64) {
+	for ci := range in.Cols {
+		x, y := unpackXY(in.Cols[ci])
+		// Resolve the 3×3 neighbourhood's columns once per column; each
+		// holds a short ascending z run.
+		var nbCol [3][3]int32    // [dy+1][dx+1] → column index, -1 if empty
+		var nbCursor [3][3]int32 // scan position, advances with z
+		for dy := int32(-1); dy <= 1; dy++ {
+			for dx := int32(-1); dx <= 1; dx++ {
+				nc := int32(findCol(in.Cols, packXY(x+dx, y+dy)))
+				nbCol[dy+1][dx+1] = nc
+				if nc >= 0 {
+					nbCursor[dy+1][dx+1] = in.ColOff[nc]
+				}
+			}
+		}
+		for s := in.ColOff[ci]; s < in.ColOff[ci+1]; s++ {
+			z := in.Zs[s]
+			// Locate the up-to-27 occupied neighbours of (x, y, z): for
+			// each neighbour column, the sites with z-1 ≤ Z ≤ z+1.
+			var nbSite [3][3][3]int32 // [dy+1][dx+1][dz+1] → site index
+			for dyi := 0; dyi < 3; dyi++ {
+				for dxi := 0; dxi < 3; dxi++ {
+					nbSite[dyi][dxi] = [3]int32{-1, -1, -1}
+					nc := nbCol[dyi][dxi]
+					if nc < 0 {
+						continue
+					}
+					hi := in.ColOff[nc+1]
+					cur := nbCursor[dyi][dxi]
+					for cur < hi && in.Zs[cur] < z-1 {
+						cur++
+					}
+					nbCursor[dyi][dxi] = cur // z ascends with s: resume here
+					for j := cur; j < hi && in.Zs[j] <= z+1; j++ {
+						nbSite[dyi][dxi][in.Zs[j]-z+1] = j
+					}
+				}
+			}
+			var spatial [convChannels]float64
+			for dzi := 0; dzi < 3; dzi++ {
+				for dyi := 0; dyi < 3; dyi++ {
+					for dxi := 0; dxi < 3; dxi++ {
+						nb := nbSite[dyi][dxi][dzi]
+						if nb < 0 {
+							continue
+						}
+						tap := w.Spatial[dzi][dyi][dxi]
+						f := in.Feats[int(nb)*convChannels:]
+						for c := 0; c < convChannels; c++ {
+							spatial[c] += tap * f[c]
+						}
+					}
+				}
+			}
+			o0 := int(s) * convChannels
+			for o := 0; o < convChannels; o++ {
+				v := w.Bias[o]
+				for c := 0; c < convChannels; c++ {
+					v += w.Mix[o][c] * spatial[c]
+				}
+				if v < 0 { // ReLU
+					v = 0
+				}
+				outFeats[o0+o] = v
+			}
+		}
 	}
-	return t
+}
+
+// runMiddleLayers applies the layer stack in order, ping-ponging between
+// the scratch's two feature planes so the whole stack allocates nothing.
+func runMiddleLayers(t *SparseTensor, layers []ConvWeights, s *DetectorScratch) *SparseTensor {
+	if len(layers) == 0 {
+		return t
+	}
+	s.featB = grow(s.featB, len(t.Feats))
+	cur, next := t, &SparseTensor{Cols: t.Cols, ColOff: t.ColOff, Zs: t.Zs, Feats: s.featB}
+	for _, l := range layers {
+		l.applyInto(cur, next.Feats)
+		cur, next = next, cur
+	}
+	return cur
 }

@@ -121,14 +121,34 @@ func CoopConfig(base Config, interVehicleDist float64) Config {
 func (d *Detector) Config() Config { return d.cfg }
 
 // Detect runs the pipeline on a sensor-frame cloud and returns the
-// detected cars.
+// detected cars, drawing working memory from a shared pool.
 func (d *Detector) Detect(cloud *pointcloud.Cloud) []Detection {
 	dets, _ := d.DetectWithStats(cloud)
 	return dets
 }
 
-// DetectWithStats runs the pipeline and reports stage instrumentation.
+// DetectWithStats runs the pipeline and reports stage instrumentation,
+// drawing working memory from a shared pool.
 func (d *Detector) DetectWithStats(cloud *pointcloud.Cloud) ([]Detection, Stats) {
+	s := scratchPool.Get().(*DetectorScratch)
+	defer scratchPool.Put(s)
+	return d.DetectWithStatsScratch(cloud, s)
+}
+
+// DetectWithScratch is Detect reusing the caller's scratch buffers.
+func (d *Detector) DetectWithScratch(cloud *pointcloud.Cloud, s *DetectorScratch) []Detection {
+	dets, _ := d.DetectWithStatsScratch(cloud, s)
+	return dets
+}
+
+// DetectWithStatsScratch runs the pipeline inside the caller's scratch
+// buffers (nil falls back to the shared pool): zero steady-state
+// allocation outside the returned detections, which are fresh and safe
+// to retain. The scratch must not be used concurrently.
+func (d *Detector) DetectWithStatsScratch(cloud *pointcloud.Cloud, s *DetectorScratch) ([]Detection, Stats) {
+	if s == nil {
+		return d.DetectWithStats(cloud)
+	}
 	var st Stats
 	st.InputPoints = cloud.Len()
 	start := time.Now()
@@ -141,48 +161,48 @@ func (d *Detector) DetectWithStats(cloud *pointcloud.Cloud) ([]Detection, Stats)
 	if d.cfg.UseSpherical {
 		sph := d.cfg.Spherical
 		sph.Workers = d.cfg.Workers
-		work = ProjectSpherical(cloud, sph).ToCloud()
+		work = projectSpherical(cloud, sph, s).ToCloudInto(s.workCloud())
 	} else if d.cfg.DedupVoxel > 0 {
-		work = cloud.VoxelDownsample(d.cfg.DedupVoxel)
+		work = cloud.VoxelDownsampleInto(s.workCloud(), d.cfg.DedupVoxel)
 	}
 	st.ProjectedPoints = work.Len()
 	groundZ := work.EstimateGroundZ()
-	nonGround := work.RemoveGroundPlane(groundZ, d.cfg.GroundTolerance)
+	nonGround := work.RemoveGroundPlaneInto(s.groundCloud(), groundZ, d.cfg.GroundTolerance)
 	st.NonGroundPoints = nonGround.Len()
 	st.PreprocessTime = time.Since(t0)
 
 	// Stage 2 — voxel feature encoding.
 	t0 = time.Now()
-	grid := VoxelizeWorkers(nonGround, d.cfg.VoxelSizeXY, d.cfg.VoxelSizeZ, groundZ, d.cfg.Workers)
+	grid := voxelize(nonGround, d.cfg.VoxelSizeXY, d.cfg.VoxelSizeZ, groundZ, d.cfg.Workers, s)
 	st.VoxelCount = grid.OccupiedVoxels()
 	st.VoxelTime = time.Since(t0)
 
 	// Stage 3 — sparse convolutional middle layers.
 	t0 = time.Now()
-	tensor := runMiddleLayers(toSparseTensor(grid), d.cfg.MiddleLayers)
+	tensor, featA := toSparseTensor(grid, s.featA)
+	s.featA = featA
+	tensor = runMiddleLayers(tensor, d.cfg.MiddleLayers, s)
 	st.ConvTime = time.Since(t0)
 
 	// Stage 4 — BEV projection and region proposal.
 	t0 = time.Now()
-	bev := projectBEV(tensor, grid)
-	comps := proposalComponents(bev, d.cfg.ObjectnessThreshold)
-	st.ProposalCount = len(comps)
+	s.bevObj = grow(s.bevObj, len(tensor.Cols))
+	s.bevTop = grow(s.bevTop, len(tensor.Cols))
+	bev := projectBEVInto(tensor, grid, s.bevObj, s.bevTop)
+	props := proposalComponentsScratch(bev, d.cfg.ObjectnessThreshold, s)
+	st.ProposalCount = props.Len()
 	st.ProposalTime = time.Since(t0)
 
 	// Stage 5 — anchor fitting, scoring, fragment merging, NMS.
 	t0 = time.Now()
-	type scored struct {
-		cand   candidate
-		points clusterPoints
-		comp   int
-		score  float64
-	}
-	var pool []scored
-	for ci, comp := range comps {
-		var idxs []int
-		for _, cell := range comp {
-			idxs = append(idxs, grid.Points[cell]...)
+	pool := s.pool[:0]
+	for ci := 0; ci < props.Len(); ci++ {
+		idxs := s.ptBuf[:0]
+		for _, cell := range props.Component(ci) {
+			k := props.Key(cell)
+			idxs = append(idxs, grid.ColumnPoints(k.X, k.Y)...)
 		}
+		s.ptBuf = idxs
 		if len(idxs) < d.cfg.MinClusterPoints {
 			continue
 		}
@@ -231,22 +251,37 @@ func (d *Detector) DetectWithStats(cloud *pointcloud.Cloud) ([]Detection, Stats)
 			}
 		}
 	}
+	s.pool = pool
 
-	var dets []Detection
-	for _, s := range pool {
-		if s.score < d.cfg.ScoreThreshold {
+	dets := s.dets[:0]
+	for _, sc := range pool {
+		if sc.score < d.cfg.ScoreThreshold {
 			continue
 		}
 		dets = append(dets, Detection{
-			Box:       s.cand.box,
-			Score:     s.score,
-			NumPoints: s.cand.stats.n,
+			Box:       sc.cand.box,
+			Score:     sc.score,
+			NumPoints: sc.cand.stats.n,
 		})
 	}
-	dets = nms(dets, d.cfg.NMSIoU)
+	kept := nmsInPlace(dets, d.cfg.NMSIoU)
+	var out []Detection
+	if len(kept) > 0 {
+		out = make([]Detection, len(kept))
+		copy(out, kept)
+	}
+	s.dets = dets[:0]
 	st.FitTime = time.Since(t0)
 	st.Total = time.Since(start)
-	return dets, st
+	return out, st
+}
+
+// scored is one fitted proposal awaiting the score cut and NMS.
+type scored struct {
+	cand   candidate
+	points clusterPoints
+	comp   int
+	score  float64
 }
 
 type scoredCandidate struct {

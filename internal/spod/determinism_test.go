@@ -1,0 +1,159 @@
+package spod
+
+import (
+	"reflect"
+	"testing"
+
+	"cooper/internal/lidar"
+	"cooper/internal/pointcloud"
+	"cooper/internal/scene"
+)
+
+// generatedFrameCloud senses pose 0 of a generated fleet scenario — the
+// same detector input the evaluation engine produces, built here without
+// importing core (which would cycle back into spod).
+func generatedFrameCloud(t testing.TB) *pointcloud.Cloud {
+	t.Helper()
+	sc, err := scene.Generate(scene.GenParams{Family: "intersection", Fleet: 4, Seed: 11, Traffic: 6})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	scan := lidar.NewScanner(sc.LiDAR, sc.Seed).SetWorkers(1).
+		ScanFrom(sc.Poses[0], sc.Scene.Targets(), sc.Scene.GroundZ)
+	return scan.Cloud
+}
+
+// stageOutputs captures the mid-pipeline state the map-keyed
+// implementation left at the mercy of map iteration order: the voxel
+// grid, the convolved features, the BEV map and the proposal grouping.
+type stageOutputs struct {
+	grid  VoxelGrid
+	feats []float64
+	bev   BEVMap
+	comps proposalSet
+}
+
+// runStages executes voxelize → middle layers → BEV → proposals on a
+// fresh scratch, deep-copying every output so runs can be compared.
+func runStages(cloud *pointcloud.Cloud, cfg Config, workers int) stageOutputs {
+	s := NewScratch()
+	groundZ := cloud.EstimateGroundZ()
+	nonGround := cloud.RemoveGroundPlane(groundZ, cfg.GroundTolerance)
+	grid := voxelize(nonGround, cfg.VoxelSizeXY, cfg.VoxelSizeZ, groundZ, workers, s)
+	tensor, featA := toSparseTensor(grid, s.featA)
+	s.featA = featA
+	tensor = runMiddleLayers(tensor, cfg.MiddleLayers, s)
+	s.bevObj = grow(s.bevObj, len(tensor.Cols))
+	s.bevTop = grow(s.bevTop, len(tensor.Cols))
+	bev := projectBEVInto(tensor, grid, s.bevObj, s.bevTop)
+	comps := proposalComponentsScratch(bev, cfg.ObjectnessThreshold, s)
+
+	var out stageOutputs
+	out.grid = *grid
+	out.grid.Cols = append([]colKey(nil), grid.Cols...)
+	out.grid.ColOff = append([]int32(nil), grid.ColOff...)
+	out.grid.Zs = append([]int32(nil), grid.Zs...)
+	out.grid.Feats = append([]VoxelFeature(nil), grid.Feats...)
+	out.grid.PtOff = append([]int32(nil), grid.PtOff...)
+	out.grid.PtIdx = append([]int32(nil), grid.PtIdx...)
+	out.feats = append([]float64(nil), tensor.Feats...)
+	out.bev = BEVMap{
+		SizeXY:     bev.SizeXY,
+		Cols:       append([]colKey(nil), bev.Cols...),
+		Objectness: append([]float64(nil), bev.Objectness...),
+		TopZ:       append([]float64(nil), bev.TopZ...),
+	}
+	out.comps = proposalSet{
+		keys:  append([]colKey(nil), comps.keys...),
+		cells: append([]int32(nil), comps.cells...),
+		off:   append([]int32(nil), comps.off...),
+	}
+	return out
+}
+
+// TestStagesByteIdentical50x is the regression test for the map-order
+// float accumulation bug (bev.go summed column objectness in map
+// iteration order; conv.go and voxel.go were one map-range away from the
+// same class): fifty fresh runs over a generated scenario must produce
+// byte-identical grids, features, BEV maps and proposal groupings, and
+// the parallel key build must match the sequential one.
+func TestStagesByteIdentical50x(t *testing.T) {
+	cloud := generatedFrameCloud(t)
+	cfg := DefaultConfig()
+	ref := runStages(cloud, cfg, 1)
+	if ref.grid.OccupiedVoxels() == 0 || ref.comps.Len() == 0 {
+		t.Fatalf("degenerate reference: %d voxels, %d proposals",
+			ref.grid.OccupiedVoxels(), ref.comps.Len())
+	}
+	for run := 0; run < 50; run++ {
+		workers := 1
+		if run%2 == 1 {
+			workers = 4 // alternate: workers must be invisible
+		}
+		got := runStages(cloud, cfg, workers)
+		if !reflect.DeepEqual(got.grid, ref.grid) {
+			t.Fatalf("run %d (workers=%d): voxel grid differs", run, workers)
+		}
+		if !reflect.DeepEqual(got.feats, ref.feats) {
+			t.Fatalf("run %d (workers=%d): convolved features differ", run, workers)
+		}
+		if !reflect.DeepEqual(got.bev, ref.bev) {
+			t.Fatalf("run %d (workers=%d): BEV map differs", run, workers)
+		}
+		if !reflect.DeepEqual(got.comps, ref.comps) {
+			t.Fatalf("run %d (workers=%d): proposal components differ", run, workers)
+		}
+	}
+}
+
+// TestDetectByteIdentical50x runs the full detector fifty times on a
+// generated scenario — alternating worker counts and cycling a reused
+// scratch against fresh ones — and requires identical detections every
+// time: scratch reuse must leave no state behind, and worker count must
+// be invisible.
+func TestDetectByteIdentical50x(t *testing.T) {
+	cloud := generatedFrameCloud(t)
+	cfg := DefaultConfig()
+	cfg.Workers = 1
+	ref := New(cfg).Detect(cloud)
+	if len(ref) == 0 {
+		t.Fatal("reference run found no cars; scenario too sparse for the stress test")
+	}
+	reused := NewScratch()
+	for run := 0; run < 50; run++ {
+		runCfg := cfg
+		if run%2 == 1 {
+			runCfg.Workers = 4
+		}
+		var got []Detection
+		if run%3 == 0 {
+			got = New(runCfg).DetectWithScratch(cloud, reused)
+		} else {
+			got = New(runCfg).Detect(cloud)
+		}
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("run %d (workers=%d, reused=%v): detections differ\n got: %v\nwant: %v",
+				run, runCfg.Workers, run%3 == 0, got, ref)
+		}
+	}
+}
+
+// TestCoopDetectByteIdentical compares the merged-cloud (dedup) path the
+// cooperative passes use: same guarantee, different preprocessing.
+func TestCoopDetectByteIdentical(t *testing.T) {
+	cloud := generatedFrameCloud(t)
+	cfg := CoopConfig(DefaultConfig(), 15)
+	cfg.Workers = 1
+	ref := New(cfg).Detect(cloud)
+	reused := NewScratch()
+	for run := 0; run < 10; run++ {
+		runCfg := cfg
+		if run%2 == 1 {
+			runCfg.Workers = 3
+		}
+		got := New(runCfg).DetectWithScratch(cloud, reused)
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("run %d: cooperative detections differ", run)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package spod
 
 import (
 	"math"
+	"math/bits"
 	"sort"
 
 	"cooper/internal/geom"
@@ -52,14 +53,14 @@ type clusterPoints struct {
 	xs, ys, zs []float64
 }
 
-func gatherCluster(c *pointcloud.Cloud, idxs []int) clusterPoints {
+func gatherCluster[I int | int32](c *pointcloud.Cloud, idxs []I) clusterPoints {
 	cp := clusterPoints{
 		xs: make([]float64, 0, len(idxs)),
 		ys: make([]float64, 0, len(idxs)),
 		zs: make([]float64, 0, len(idxs)),
 	}
 	for _, i := range idxs {
-		p := c.At(i)
+		p := c.At(int(i))
 		cp.xs = append(cp.xs, p.X)
 		cp.ys = append(cp.ys, p.Y)
 		cp.zs = append(cp.zs, p.Z)
@@ -232,10 +233,13 @@ func fitAtYaw(cp clusterPoints, yaw, groundZ, zMin, zMax float64, sensorXY geom.
 	)
 
 	// Evidence: points inside the (slightly inflated) box and footprint
-	// coverage.
+	// coverage. A point inside the grown box has box-local |lx| ≤
+	// anchorLength/2+0.15 and |ly| ≤ anchorWidth/2+0.15, so its coverage
+	// cell index lands in [-1, 10]×[-1, 4] — a fixed 12×6 window that
+	// fits in a 72-bit set, replacing the per-candidate map allocation.
 	grown := geom.NewBox(box.Center, box.Length+0.3, box.Width+0.3, box.Height+0.5, box.Yaw)
 	n := 0
-	cells := make(map[[2]int]struct{}, 32)
+	var cellBits [2]uint64
 	const cell = 0.4
 	for i := range cp.xs {
 		p := geom.V3(cp.xs[i], cp.ys[i], cp.zs[i])
@@ -246,11 +250,15 @@ func fitAtYaw(cp clusterPoints, yaw, groundZ, zMin, zMax float64, sensorXY geom.
 		// Cell in box-local coordinates so coverage is orientation-free.
 		lx := cYaw*(cp.xs[i]-cx) + sYaw*(cp.ys[i]-cy)
 		ly := -sYaw*(cp.xs[i]-cx) + cYaw*(cp.ys[i]-cy)
-		cells[[2]int{int(math.Floor((lx + anchorLength/2) / cell)), int(math.Floor((ly + anchorWidth/2) / cell))}] = struct{}{}
+		ix := int(math.Floor((lx+anchorLength/2)/cell)) + 1
+		iy := int(math.Floor((ly+anchorWidth/2)/cell)) + 1
+		bit := ix*6 + iy
+		cellBits[bit>>6] |= 1 << (bit & 63)
 	}
 	if n == 0 {
 		return candidate{}, false
 	}
+	coveredCells := bits.OnesCount64(cellBits[0]) + bits.OnesCount64(cellBits[1])
 	footprintCells := math.Ceil(anchorLength/cell) * math.Ceil(anchorWidth/cell)
 
 	topEl := math.Inf(-1)
@@ -266,7 +274,7 @@ func fitAtYaw(cp clusterPoints, yaw, groundZ, zMin, zMax float64, sensorXY geom.
 
 	st := fitStats{
 		n:           n,
-		coverage:    float64(len(cells)) / footprintCells,
+		coverage:    float64(coveredCells) / footprintCells,
 		heightTop:   zMax - groundZ,
 		heightSpan:  zMax - zMin,
 		extentMajor: math.Max(extL, extW),

@@ -13,17 +13,28 @@ type Detection struct {
 	NumPoints int
 }
 
-// nms performs greedy non-maximum suppression on BEV IoU: detections are
-// taken in descending score order and any remaining detection overlapping
-// an accepted one by more than iouThresh is suppressed. Ties break on
-// point count then position for determinism.
+// nms performs greedy non-maximum suppression on BEV IoU without
+// disturbing the input slice. See nmsInPlace for the policy.
 func nms(dets []Detection, iouThresh float64) []Detection {
 	if len(dets) <= 1 {
 		return dets
 	}
 	sorted := make([]Detection, len(dets))
 	copy(sorted, dets)
-	sortSlice(sorted, func(a, b Detection) bool {
+	return nmsInPlace(sorted, iouThresh)
+}
+
+// nmsInPlace performs greedy non-maximum suppression on BEV IoU:
+// detections are taken in descending score order and any remaining
+// detection overlapping an accepted one by more than iouThresh is
+// suppressed. Ties break on point count then position for determinism.
+// The input is reordered in place; the survivors are compacted to the
+// front and returned as a prefix of the input slice.
+func nmsInPlace(dets []Detection, iouThresh float64) []Detection {
+	if len(dets) <= 1 {
+		return dets
+	}
+	sortSlice(dets, func(a, b Detection) bool {
 		if a.Score != b.Score {
 			return a.Score > b.Score
 		}
@@ -35,10 +46,10 @@ func nms(dets []Detection, iouThresh float64) []Detection {
 		}
 		return a.Box.Center.Y < b.Box.Center.Y
 	})
-	kept := make([]Detection, 0, len(sorted))
-	for _, d := range sorted {
+	w := 0
+	for i, d := range dets {
 		ok := true
-		for _, k := range kept {
+		for _, k := range dets[:w] {
 			if geom.IoUBEV(d.Box, k.Box) > iouThresh {
 				ok = false
 				break
@@ -54,8 +65,9 @@ func nms(dets []Detection, iouThresh float64) []Detection {
 			}
 		}
 		if ok {
-			kept = append(kept, d)
+			dets[w] = dets[i]
+			w++
 		}
 	}
-	return kept
+	return dets[:w]
 }

@@ -78,18 +78,38 @@ func DefaultSphericalConfig() SphericalConfig {
 	}
 }
 
+// binnedEcho stages one point's binned echo for the parallel projection
+// path; idx < 0 marks a point that fell outside the image.
+type binnedEcho struct {
+	e   echo
+	idx int32
+}
+
 // ProjectSpherical builds the range image of a cloud.
 func ProjectSpherical(c *pointcloud.Cloud, cfg SphericalConfig) *RangeImage {
-	img := &RangeImage{
-		Rows:   cfg.Rows,
-		Cols:   cfg.Cols,
-		MinEl:  cfg.MinEl,
-		MaxEl:  cfg.MaxEl,
-		near:   make([]echo, cfg.Rows*cfg.Cols),
-		far:    make([]echo, cfg.Rows*cfg.Cols),
-		elStep: (cfg.MaxEl - cfg.MinEl) / float64(cfg.Rows),
-		azStep: 2 * math.Pi / float64(cfg.Cols),
+	return projectSpherical(c, cfg, nil)
+}
+
+// projectSpherical builds the range image inside the scratch's buffers
+// when s is non-nil (the returned image is &s.img, valid until the
+// scratch's next frame); with a nil scratch it allocates a caller-owned
+// image.
+func projectSpherical(c *pointcloud.Cloud, cfg SphericalConfig, s *DetectorScratch) *RangeImage {
+	cells := cfg.Rows * cfg.Cols
+	var img *RangeImage
+	if s != nil {
+		img = &s.img
+		img.near = grow(img.near, cells)
+		img.far = grow(img.far, cells)
+		clear(img.near)
+		clear(img.far)
+	} else {
+		img = &RangeImage{near: make([]echo, cells), far: make([]echo, cells)}
 	}
+	img.Rows, img.Cols = cfg.Rows, cfg.Cols
+	img.MinEl, img.MaxEl = cfg.MinEl, cfg.MaxEl
+	img.elStep = (cfg.MaxEl - cfg.MinEl) / float64(cfg.Rows)
+	img.azStep = 2 * math.Pi / float64(cfg.Cols)
 	if parallel.Normalize(cfg.Workers) == 1 {
 		// Single-worker fast path: fused bin-and-insert with no staging
 		// buffer. The two-phase path below builds an identical image (see
@@ -103,10 +123,13 @@ func ProjectSpherical(c *pointcloud.Cloud, cfg SphericalConfig) *RangeImage {
 		// Phase 1 — the per-point trigonometry (range, elevation, azimuth,
 		// cell binning) is pure, so it fans out across point chunks; slot i
 		// holds point i's binned echo.
-		binned := make([]struct {
-			e   echo
-			idx int32
-		}, c.Len())
+		var binned []binnedEcho
+		if s != nil {
+			s.binned = grow(s.binned, c.Len())
+			binned = s.binned
+		} else {
+			binned = make([]binnedEcho, c.Len())
+		}
 		const chunk = 4096
 		nChunks := (c.Len() + chunk - 1) / chunk
 		parallel.For(cfg.Workers, nChunks, func(ci int) {
@@ -227,7 +250,14 @@ func (img *RangeImage) Occupied() int {
 // This is the dense, duplicate-free representation the downstream stages
 // consume.
 func (img *RangeImage) ToCloud() *pointcloud.Cloud {
-	out := pointcloud.New(img.Occupied())
+	return img.ToCloudInto(pointcloud.New(img.Occupied()))
+}
+
+// ToCloudInto is ToCloud appending into dst (reset first) so a reused
+// cloud buffer makes the reconstruction allocation-free.
+func (img *RangeImage) ToCloudInto(dst *pointcloud.Cloud) *pointcloud.Cloud {
+	out := dst
+	out.Reset()
 	emit := func(e echo) {
 		if !e.valid {
 			return

@@ -20,7 +20,7 @@ func TestVoxelizeFeatures(t *testing.T) {
 	if g.OccupiedVoxels() != 2 {
 		t.Fatalf("occupied = %d, want 2", g.OccupiedVoxels())
 	}
-	f, ok := g.Cells[pointcloud.VoxelKey{X: 0, Y: 0, Z: 0}]
+	f, ok := g.Feature(pointcloud.VoxelKey{X: 0, Y: 0, Z: 0})
 	if !ok {
 		t.Fatal("missing first voxel")
 	}
@@ -44,7 +44,7 @@ func TestVoxelizeFeatures(t *testing.T) {
 func TestVoxelizeGroundRelativeHeights(t *testing.T) {
 	c := pointcloud.FromPoints([]pointcloud.Point{{X: 0, Y: 0, Z: -1.5}})
 	g := Voxelize(c, 0.2, 0.25, -1.73)
-	for _, f := range g.Cells {
+	for _, f := range g.Feats {
 		if math.Abs(f.MeanZ-0.23) > 1e-9 {
 			t.Errorf("ground-relative meanZ = %v, want 0.23", f.MeanZ)
 		}
@@ -57,8 +57,7 @@ func TestVoxelizeColumnPoints(t *testing.T) {
 		{X: 0.1, Y: 0.1, Z: 2.0}, // same column, different z voxel
 	})
 	g := Voxelize(c, 0.2, 0.25, 0)
-	col := pointcloud.VoxelKey{X: 0, Y: 0, Z: 0}
-	if got := len(g.Points[col]); got != 2 {
+	if got := len(g.ColumnPoints(0, 0)); got != 2 {
 		t.Errorf("column points = %d, want 2", got)
 	}
 }
@@ -83,16 +82,16 @@ func TestGaussianKernelNormalised(t *testing.T) {
 
 func TestSparseConvPreservesSites(t *testing.T) {
 	// Submanifold convolution: output sites == input sites.
-	in := &SparseTensor{Features: map[pointcloud.VoxelKey][]float64{
+	in := tensorFromMap(map[pointcloud.VoxelKey][]float64{
 		{X: 0, Y: 0, Z: 0}: {1, 0.5, 0.2},
 		{X: 5, Y: 5, Z: 1}: {2, 1.0, 0.4},
-	}}
+	})
 	out := DefaultMiddleLayers()[0].Apply(in)
-	if len(out.Features) != len(in.Features) {
-		t.Fatalf("site count changed: %d -> %d", len(in.Features), len(out.Features))
+	if out.Sites() != in.Sites() {
+		t.Fatalf("site count changed: %d -> %d", in.Sites(), out.Sites())
 	}
-	for k := range in.Features {
-		if _, ok := out.Features[k]; !ok {
+	for _, k := range []pointcloud.VoxelKey{{X: 0, Y: 0, Z: 0}, {X: 5, Y: 5, Z: 1}} {
+		if _, ok := out.FeatureAt(k); !ok {
 			t.Errorf("site %v vanished", k)
 		}
 	}
@@ -101,18 +100,18 @@ func TestSparseConvPreservesSites(t *testing.T) {
 func TestSparseConvSmoothsNeighbours(t *testing.T) {
 	// Two adjacent occupied voxels reinforce each other: each output
 	// exceeds what an isolated voxel of the same value gets.
-	isolated := &SparseTensor{Features: map[pointcloud.VoxelKey][]float64{
+	isolated := tensorFromMap(map[pointcloud.VoxelKey][]float64{
 		{X: 0, Y: 0, Z: 0}: {1, 0, 0},
-	}}
-	pair := &SparseTensor{Features: map[pointcloud.VoxelKey][]float64{
+	})
+	pair := tensorFromMap(map[pointcloud.VoxelKey][]float64{
 		{X: 0, Y: 0, Z: 0}: {1, 0, 0},
 		{X: 1, Y: 0, Z: 0}: {1, 0, 0},
-	}}
+	})
 	layer := DefaultMiddleLayers()[0]
-	iso := layer.Apply(isolated).Features[pointcloud.VoxelKey{}][0]
-	joint := layer.Apply(pair).Features[pointcloud.VoxelKey{}][0]
-	if joint <= iso {
-		t.Errorf("neighbour did not reinforce: %v <= %v", joint, iso)
+	isoF, _ := layer.Apply(isolated).FeatureAt(pointcloud.VoxelKey{})
+	jointF, _ := layer.Apply(pair).FeatureAt(pointcloud.VoxelKey{})
+	if jointF[0] <= isoF[0] {
+		t.Errorf("neighbour did not reinforce: %v <= %v", jointF[0], isoF[0])
 	}
 }
 
@@ -121,45 +120,48 @@ func TestSparseConvReLU(t *testing.T) {
 		Spatial: gaussianKernel(),
 		Mix:     [3][3]float64{{-1, 0, 0}, {0, 1, 0}, {0, 0, 1}},
 	}
-	in := &SparseTensor{Features: map[pointcloud.VoxelKey][]float64{
+	in := tensorFromMap(map[pointcloud.VoxelKey][]float64{
 		{X: 0, Y: 0, Z: 0}: {1, 0, 0},
-	}}
-	out := w.Apply(in).Features[pointcloud.VoxelKey{}]
+	})
+	out, _ := w.Apply(in).FeatureAt(pointcloud.VoxelKey{})
 	if out[0] != 0 {
 		t.Errorf("negative activation survived ReLU: %v", out[0])
 	}
 }
 
 func TestProjectBEVColumnAggregation(t *testing.T) {
-	g := &VoxelGrid{SizeXY: 0.2, SizeZ: 0.25, Cells: map[pointcloud.VoxelKey]*VoxelFeature{}}
-	tensor := &SparseTensor{Features: map[pointcloud.VoxelKey][]float64{
+	g := &VoxelGrid{SizeXY: 0.2, SizeZ: 0.25}
+	tensor := tensorFromMap(map[pointcloud.VoxelKey][]float64{
 		{X: 3, Y: 4, Z: 0}: {1.0, 0, 0},
 		{X: 3, Y: 4, Z: 5}: {0.5, 0, 0},
 		{X: 9, Y: 9, Z: 2}: {2.0, 0, 0},
-	}}
+	})
 	bev := projectBEV(tensor, g)
-	if len(bev.Cells) != 2 {
-		t.Fatalf("BEV cells = %d, want 2", len(bev.Cells))
+	if bev.Len() != 2 {
+		t.Fatalf("BEV cells = %d, want 2", bev.Len())
 	}
-	c := bev.Cells[pointcloud.VoxelKey{X: 3, Y: 4}]
-	if math.Abs(c.Objectness-1.5) > 1e-12 {
-		t.Errorf("objectness = %v, want 1.5", c.Objectness)
+	obj, topZ, ok := bev.CellAt(pointcloud.VoxelKey{X: 3, Y: 4})
+	if !ok {
+		t.Fatal("missing BEV cell (3, 4)")
 	}
-	if math.Abs(c.TopZ-6*0.25) > 1e-12 {
-		t.Errorf("topZ = %v, want 1.5", c.TopZ)
+	if math.Abs(obj-1.5) > 1e-12 {
+		t.Errorf("objectness = %v, want 1.5", obj)
+	}
+	if math.Abs(topZ-6*0.25) > 1e-12 {
+		t.Errorf("topZ = %v, want 1.5", topZ)
 	}
 }
 
 func TestProposalComponentsConnectivity(t *testing.T) {
-	m := &BEVMap{SizeXY: 0.2, Cells: map[pointcloud.VoxelKey]*BEVCell{
-		{X: 0, Y: 0}:   {Objectness: 1},
-		{X: 1, Y: 1}:   {Objectness: 1},     // diagonal: same component
-		{X: 20, Y: 20}: {Objectness: 1},     // far: separate
-		{X: 5, Y: 5}:   {Objectness: 0.001}, // below threshold
-	}}
+	m := bevFromMap(0.2, map[pointcloud.VoxelKey]float64{
+		{X: 0, Y: 0}:   1,
+		{X: 1, Y: 1}:   1,     // diagonal: same component
+		{X: 20, Y: 20}: 1,     // far: separate
+		{X: 5, Y: 5}:   0.001, // below threshold
+	})
 	comps := proposalComponents(m, 0.05)
-	if len(comps) != 2 {
-		t.Fatalf("components = %d, want 2", len(comps))
+	if comps.Len() != 2 {
+		t.Fatalf("components = %d, want 2", comps.Len())
 	}
 }
 

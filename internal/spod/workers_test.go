@@ -41,17 +41,15 @@ func TestProjectSphericalWorkersIdentical(t *testing.T) {
 
 // TestVoxelizeWorkersIdentical checks the voxel feature build: key
 // computation parallelizes, accumulation stays in point order, so grids
-// are identical at every worker count.
+// are identical at every worker count. The grid is pure sorted slices,
+// so DeepEqual compares the whole structure byte for byte.
 func TestVoxelizeWorkersIdentical(t *testing.T) {
 	cloud := noisyCloud(30000)
 	ref := VoxelizeWorkers(cloud, 0.2, 0.25, 0, 1)
 	for _, workers := range []int{0, 5} {
 		got := VoxelizeWorkers(cloud, 0.2, 0.25, 0, workers)
-		if !reflect.DeepEqual(got.Cells, ref.Cells) {
-			t.Fatalf("workers=%d: voxel features differ from sequential", workers)
-		}
-		if !reflect.DeepEqual(got.Points, ref.Points) {
-			t.Fatalf("workers=%d: per-column point lists differ from sequential", workers)
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("workers=%d: voxel grid differs from sequential", workers)
 		}
 	}
 	if !reflect.DeepEqual(Voxelize(cloud, 0.2, 0.25, 0), ref) {
