@@ -213,6 +213,78 @@ func BenchmarkHubSessionRound(b *testing.B) {
 	}
 }
 
+// --- Fusion backends: sender encode and receiver fuse, raw vs feature ---
+//
+// The Feature benchmarks are the perf-trajectory numbers for the
+// pluggable-backend layer: the sender-side encode of one frame (with the
+// resulting wire size reported as bytes/frame, the Fig. 16 volume axis)
+// and the receiver-side fuse + detect round over one collected payload,
+// for both backends on the same sensed scenario. CI's feature bench-smoke
+// step runs these once and records BENCH_feature.json.
+
+// backendFrames senses a two-vehicle generated intersection and lifts
+// both views into backend sensor frames.
+func backendFrames(b *testing.B) (rx, tx fusion.SensorFrame) {
+	b.Helper()
+	sc, err := cooper.GenerateScenario(cooper.GenParams{Family: "intersection", Fleet: 2, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	runner := cooper.NewScenarioRunner(sc)
+	vi, vj := runner.Vehicle(0), runner.Vehicle(1)
+	ci := vi.Sense(sc.Scene.Targets(), sc.Scene.GroundZ)
+	cj := vj.Sense(sc.Scene.Targets(), sc.Scene.GroundZ)
+	return fusion.SensorFrame{State: vi.State(), Cloud: ci},
+		fusion.SensorFrame{State: vj.State(), Cloud: cj}
+}
+
+func benchBackendEncode(b *testing.B, backend fusion.Backend) {
+	b.Helper()
+	_, tx := backendFrames(b)
+	scratch := spod.NewScratch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	wire := 0
+	for i := 0; i < b.N; i++ {
+		p, err := backend.Encode(tx, scratch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		wire = len(p.Data)
+	}
+	b.ReportMetric(float64(wire), "bytes/frame")
+}
+
+func benchBackendFuse(b *testing.B, backend fusion.Backend) {
+	b.Helper()
+	rx, tx := backendFrames(b)
+	payload, err := backend.Encode(tx, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scratch := spod.NewScratch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in, err := backend.Fuse(rx, []fusion.Payload{payload})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if dets, _ := in.Detect(spod.DefaultConfig(), scratch); len(dets) == 0 {
+			b.Fatal("fused round produced no detections")
+		}
+	}
+}
+
+func BenchmarkFeatureBackendEncode(b *testing.B) {
+	benchBackendEncode(b, fusion.DefaultFeatureBackend())
+}
+func BenchmarkFeatureRawEncodeBaseline(b *testing.B) { benchBackendEncode(b, fusion.RawBackend{}) }
+func BenchmarkFeatureBackendFuseDetect(b *testing.B) {
+	benchBackendFuse(b, fusion.DefaultFeatureBackend())
+}
+func BenchmarkFeatureRawFuseDetectBaseline(b *testing.B) { benchBackendFuse(b, fusion.RawBackend{}) }
+
 // --- Dynamic-world engine: tracking + compensation hot path ---
 //
 // The Track benchmarks are the perf-trajectory numbers for the time

@@ -27,6 +27,7 @@ import (
 	"strings"
 
 	"cooper/internal/core"
+	"cooper/internal/fusion"
 	"cooper/internal/hub"
 	"cooper/internal/network"
 	"cooper/internal/scene"
@@ -58,7 +59,13 @@ func run() error {
 	workers := flag.Int("workers", 0, "selftest client fan-out goroutines (0 = one per CPU); output identical at any value")
 	frames := flag.Int("frames", 1, "selftest: stream this many frames of the moving world through the hub")
 	hz := flag.Float64("hz", 2, "selftest streaming frame rate")
+	backendName := flag.String("backend", "raw", "fusion backend for -selftest and -join: raw (point clouds) or feature (F-Cooper sparse planes)")
 	flag.Parse()
+
+	backend, err := fusion.ParseBackend(*backendName)
+	if err != nil {
+		return err
+	}
 
 	switch {
 	case *selftest > 0:
@@ -76,6 +83,7 @@ func run() error {
 			MaxSenders:    *k,
 			Frames:        *frames,
 			Hz:            *hz,
+			Backend:       backend,
 		})
 	case *hubAddr != "":
 		return runHub(*hubAddr)
@@ -88,7 +96,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		return joinHub(v, sc, *join, *k, *bw)
+		return joinHub(v, sc, *join, *k, *bw, backend)
 	case *serve != "":
 		sc, err := resolve(*scenarioName, *fleet, *seed, *traffic)
 		if err != nil {
@@ -163,9 +171,10 @@ func runHub(addr string) error {
 	return h.Serve(l)
 }
 
-// joinHub runs one vehicle's hub session: publish the sensed frame, then
-// request a fusion round and detect on the merge.
-func joinHub(v *core.Vehicle, sc *scene.Scenario, addr string, k int, bwMbps float64) error {
+// joinHub runs one vehicle's hub session: publish the sensed frame
+// through the chosen fusion backend, then request a fusion round and
+// detect on the fused input.
+func joinHub(v *core.Vehicle, sc *scene.Scenario, addr string, k int, bwMbps float64, backend fusion.Backend) error {
 	cl, peers, err := hub.Connect(addr, v.ID, v.State())
 	if err != nil {
 		return err
@@ -173,17 +182,32 @@ func joinHub(v *core.Vehicle, sc *scene.Scenario, addr string, k int, bwMbps flo
 	defer cl.Close()
 	fmt.Printf("%s joined hub at %s (%d vehicle(s) already cached)\n", v.ID, addr, peers)
 
-	pkg, err := v.PreparePackage(nil)
+	feature := backend.Name() == "feature"
+	sensorFrame, err := v.SensorFrame(nil)
 	if err != nil {
 		return err
 	}
-	cached, err := cl.Publish(v.State(), pkg.Payload)
+	p, err := backend.Encode(sensorFrame, nil)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("published %d KB frame; hub now caches %d vehicle(s)\n", len(pkg.Payload)/1024, cached)
+	var cached int
+	if feature {
+		cached, err = cl.PublishFeatures(v.State(), p.Data)
+	} else {
+		cached, err = cl.Publish(v.State(), p.Data)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("published %d KB %s frame; hub now caches %d vehicle(s)\n", len(p.Data)/1024, backend.Name(), cached)
 
-	frames, err := cl.RequestRound(v.State(), k, uint64(bwMbps*1e6))
+	var frames []hub.RoundFrame
+	if feature {
+		frames, err = cl.RequestFeatureRound(v.State(), k, uint64(bwMbps*1e6))
+	} else {
+		frames, err = cl.RequestRound(v.State(), k, uint64(bwMbps*1e6))
+	}
 	if err != nil {
 		return err
 	}
@@ -193,12 +217,12 @@ func joinHub(v *core.Vehicle, sc *scene.Scenario, addr string, k int, bwMbps flo
 	}
 
 	senders := make([]string, len(frames))
-	pkgs := make([]core.ExchangePackage, len(frames))
+	payloads := make([]fusion.Payload, len(frames))
 	sizes := make([]int, len(frames))
 	total := 0
 	for i, f := range frames {
 		senders[i] = f.Sender
-		pkgs[i] = core.ExchangePackage{SenderID: f.Sender, State: f.State, Payload: f.Payload}
+		payloads[i] = fusion.Payload{SenderID: f.Sender, State: f.State, Data: f.Payload}
 		sizes[i] = len(f.Payload)
 		total += len(f.Payload)
 	}
@@ -211,10 +235,11 @@ func joinHub(v *core.Vehicle, sc *scene.Scenario, addr string, k int, bwMbps flo
 	if err != nil {
 		return err
 	}
-	coop, _, err := v.CooperativeDetect(pkgs...)
+	in, err := backend.Fuse(sensorFrame, payloads)
 	if err != nil {
 		return err
 	}
+	coop, _ := in.Detect(sensorFrame.Detector.Config(), nil)
 	fmt.Printf("single shot: %d cars; cooperative: %d cars\n", len(singles), len(coop))
 	for _, d := range coop {
 		fmt.Printf("  car at (%6.1f, %6.1f) score %.2f\n", d.Box.Center.X, d.Box.Center.Y, d.Score)

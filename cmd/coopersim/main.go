@@ -73,6 +73,8 @@ func run() error {
 	hz := flag.Float64("hz", 10, "episode frame rate")
 	delay := flag.Duration("delay", 0, "extra modelled channel delay per broadcast round (e.g. 250ms)")
 	compensate := flag.Bool("compensate", true, "motion-compensate stale sender clouds in episodes")
+	backendName := flag.String("backend", "raw", "fusion backend: raw (point clouds) or feature (F-Cooper sparse planes)")
+	budget := flag.Int("budget", 0, "per-sender payload cap in bytes, fitted via the backend's ROI ladder (0 = uncapped)")
 	flag.Parse()
 
 	if *list {
@@ -93,7 +95,12 @@ func run() error {
 		return err
 	}
 
-	opts := core.RunOptions{UseICP: *icp, DriftSeed: 7}
+	backend, err := fusion.ParseBackend(*backendName)
+	if err != nil {
+		return err
+	}
+
+	opts := core.RunOptions{UseICP: *icp, DriftSeed: 7, Backend: backend, BudgetBytes: *budget}
 	switch *drift {
 	case "":
 	case "xy":
@@ -110,7 +117,7 @@ func run() error {
 		if *drift != "" || *icp {
 			return fmt.Errorf("episodes (-frames > 1) do not support -drift or -icp yet")
 		}
-		return runEpisode(target, *frames, *hz, *delay, *compensate, *workers)
+		return runEpisode(target, *frames, *hz, *delay, *compensate, *workers, backend)
 	}
 
 	runner := core.NewScenarioRunner(target).SetWorkers(*workers)
@@ -124,6 +131,13 @@ func run() error {
 	if opts.Drift != 0 {
 		fmt.Printf("GPS drift mode: %v, ICP refinement: %v\n", opts.Drift, *icp)
 	}
+	if backend.Name() != "raw" || *budget > 0 {
+		cap := "uncapped"
+		if *budget > 0 {
+			cap = fmt.Sprintf("%d B/sender", *budget)
+		}
+		fmt.Printf("fusion backend: %s, payload cap: %s\n", backend.Name(), cap)
+	}
 	if len(outcomes) == 0 {
 		fmt.Println("no cooperative cases (single-vehicle fleet): nothing exchanged, zero channel load")
 		return nil
@@ -136,9 +150,9 @@ func run() error {
 }
 
 // runEpisode plays and prints a dynamic multi-frame episode.
-func runEpisode(target *scene.Scenario, frames int, hz float64, delay time.Duration, compensate bool, workers int) error {
+func runEpisode(target *scene.Scenario, frames int, hz float64, delay time.Duration, compensate bool, workers int, backend fusion.Backend) error {
 	res, err := core.RunEpisode(target, core.EpisodeOptions{
-		Frames: frames, Hz: hz, Delay: delay, Compensate: compensate, Workers: workers,
+		Frames: frames, Hz: hz, Delay: delay, Compensate: compensate, Workers: workers, Backend: backend,
 	})
 	if err != nil {
 		return err
@@ -148,9 +162,9 @@ func runEpisode(target *scene.Scenario, frames int, hz float64, delay time.Durat
 	if !compensate {
 		comp = "off"
 	}
-	fmt.Printf("episode %s (%s, %d-beam LiDAR, %d poses, %d cars, %d moving): %d frames @ %g Hz, delay %v, compensation %s\n",
+	fmt.Printf("episode %s (%s, %d-beam LiDAR, %d poses, %d cars, %d moving): %d frames @ %g Hz, delay %v, compensation %s, backend %s\n",
 		target.Name, target.Dataset, target.LiDAR.BeamCount(), len(target.Poses),
-		len(target.Scene.Cars()), target.MovingObjects(), frames, hz, delay, comp)
+		len(target.Scene.Cars()), target.MovingObjects(), frames, hz, delay, comp, backend.Name())
 	c := res.Case
 	fmt.Printf("case %s: receiver %s fuses up to %d sender cloud(s) per round; rounds age by DSRC transmission + delay\n",
 		c.Name, target.PoseLabels[c.Receiver()], len(c.Senders()))

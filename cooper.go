@@ -256,3 +256,44 @@ const (
 
 // MaxGPSDrift is the ≈10 cm positional error bound of integrated GPS/IMU.
 const MaxGPSDrift = fusion.MaxGPSDrift
+
+// Pluggable fusion backends: raw point-cloud exchange (the paper's
+// strategy) and feature-level F-Cooper exchange (sparse post-convolution
+// planes, an order of magnitude fewer bytes, fused by element-wise max).
+type (
+	// FusionBackend is a pluggable cooperative-fusion strategy: how a
+	// sender frame becomes wire bytes and how a receiver turns collected
+	// payloads into a detector input.
+	FusionBackend = fusion.Backend
+	// SensorFrame is one vehicle's contribution to an exchange as a
+	// backend sees it.
+	SensorFrame = fusion.SensorFrame
+	// FusionPayload is one encoded sender contribution on the wire.
+	FusionPayload = fusion.Payload
+	// FusedInput is a backend's fused product, ready for detection.
+	FusedInput = fusion.FusedInput
+	// RawBackend transmits quantized clouds and merges them (Cooper).
+	RawBackend = fusion.RawBackend
+	// FeatureBackend transmits sparse feature planes (F-Cooper).
+	FeatureBackend = fusion.FeatureBackend
+	// FeatureFrame is a detector's sparse post-convolution feature planes.
+	FeatureFrame = spod.FeatureFrame
+)
+
+// FusionBackends lists the selectable fusion backend names.
+func FusionBackends() []string { return fusion.Backends() }
+
+// ParseFusionBackend resolves a backend name ("raw", "feature").
+func ParseFusionBackend(name string) (FusionBackend, error) { return fusion.ParseBackend(name) }
+
+// NewFeatureBackend returns the feature backend with the default
+// transmit floor (columns unable to clear the proposal gate are dropped
+// at the sender).
+func NewFeatureBackend() FeatureBackend { return fusion.DefaultFeatureBackend() }
+
+// DecodeFeatureFrame parses a CPF3 feature-frame payload.
+func DecodeFeatureFrame(data []byte) (*FeatureFrame, error) { return spod.DecodeFeatureFrame(data) }
+
+// IsFeaturePayload reports whether wire bytes carry a CPF3 feature frame
+// rather than a quantized point cloud.
+func IsFeaturePayload(data []byte) bool { return spod.IsFeaturePayload(data) }

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"cooper/internal/fusion"
+	"cooper/internal/scene"
+)
+
+// TestFeatureBackendWorkerInvariant extends the engine's determinism
+// guarantee to the feature backend: evaluating a fleet scenario through
+// feature-level fusion at workers=1 and workers=8 must produce identical
+// outcomes — same rows, detections, per-sender payload sizes. Run under
+// -race in CI this also proves the feature exchange is data-race free.
+func TestFeatureBackendWorkerInvariant(t *testing.T) {
+	sc := generated(t, scene.FamilyIntersection, 4, 11)
+	for _, opts := range []RunOptions{
+		{Backend: fusion.DefaultFeatureBackend()},
+		{Backend: fusion.DefaultFeatureBackend(), BudgetBytes: 2048},
+	} {
+		seq, err := NewScenarioRunner(sc).SetWorkers(1).RunAll(opts)
+		if err != nil {
+			t.Fatalf("%s sequential (budget %d): %v", sc.Name, opts.BudgetBytes, err)
+		}
+		par, err := NewScenarioRunner(sc).SetWorkers(8).RunAll(opts)
+		if err != nil {
+			t.Fatalf("%s parallel (budget %d): %v", sc.Name, opts.BudgetBytes, err)
+		}
+		if !reflect.DeepEqual(stripStats(seq), stripStats(par)) {
+			t.Errorf("%s (budget %d): parallel feature outcome differs from sequential",
+				sc.Name, opts.BudgetBytes)
+		}
+	}
+}
+
+// TestFeatureBackendPayloadAccounting pins the byte bookkeeping the
+// Fig. 16 sweep reports: feature exchanges must be far smaller than raw
+// at equal fleet and scenario, and a budget must cap every sender.
+func TestFeatureBackendPayloadAccounting(t *testing.T) {
+	sc := generated(t, scene.FamilyIntersection, 2, 11)
+
+	raw, err := NewScenarioRunner(sc).SetWorkers(1).RunAll(RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feat, err := NewScenarioRunner(sc).SetWorkers(1).RunAll(RunOptions{Backend: fusion.DefaultFeatureBackend()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != len(feat) || len(feat) == 0 {
+		t.Fatalf("outcome counts differ: raw %d, feature %d", len(raw), len(feat))
+	}
+	if rb, fb := raw[0].PayloadBytes, feat[0].PayloadBytes; fb <= 0 || fb*2 >= rb {
+		t.Errorf("feature exchange %d B not substantially below raw %d B", fb, rb)
+	}
+
+	const budget = 2048
+	capped, err := NewScenarioRunner(sc).SetWorkers(1).
+		RunAll(RunOptions{Backend: fusion.DefaultFeatureBackend(), BudgetBytes: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range capped {
+		for k, b := range o.SenderPayloads {
+			if b > budget {
+				t.Errorf("sender %d payload %d B exceeds budget %d", k, b, budget)
+			}
+		}
+	}
+}

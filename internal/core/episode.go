@@ -37,6 +37,17 @@ type EpisodeOptions struct {
 	Workers int
 	// Case indexes Scenario.Cases (default 0, the N-way fleet case).
 	Case int
+	// Backend selects the fusion strategy senders broadcast with; nil
+	// means raw-cloud fusion.
+	Backend fusion.Backend
+}
+
+// backend resolves the episode's fusion backend.
+func (o EpisodeOptions) backend() fusion.Backend {
+	if o.Backend == nil {
+		return fusion.RawBackend{}
+	}
+	return o.Backend
 }
 
 // EpisodeFrame is one fused frame's outcome.
@@ -127,6 +138,13 @@ type labEntry struct {
 
 	detOnce sync.Once
 	dets    []spod.Detection // single-shot detections on the capture
+
+	// featOnce caches the feature-backend broadcast encode of the
+	// capture. An episode lab sees one feature-backend configuration per
+	// sweep, so a single slot suffices.
+	featOnce    sync.Once
+	featPayload []byte
+	featErr     error
 }
 
 // EpisodeLab runs episodes over one scenario, caching captures — the
@@ -204,6 +222,22 @@ func (l *EpisodeLab) cropFOV(c *pointcloud.Cloud) *pointcloud.Cloud {
 	return c
 }
 
+// payloadFor returns the backend's broadcast encode of a capture: the
+// cached quantized encode for the raw backend (computed at capture
+// time), the cached feature encode otherwise. Both are pure functions of
+// the capture, so whichever frame job computes one first never shows in
+// the output.
+func (l *EpisodeLab) payloadFor(e *labEntry, backend fusion.Backend, det *spod.Detector, state fusion.VehicleState, s *spod.DetectorScratch) ([]byte, error) {
+	if _, raw := backend.(fusion.RawBackend); raw {
+		return e.payload, nil
+	}
+	e.featOnce.Do(func() {
+		p, err := backend.Encode(fusion.SensorFrame{State: state, Cloud: l.cropFOV(e.scan.Cloud), Detector: det}, s)
+		e.featPayload, e.featErr = p.Data, err
+	})
+	return e.featPayload, e.featErr
+}
+
 // stateAt builds the GPS/IMU state a vehicle at the given world pose
 // reports.
 func (l *EpisodeLab) stateAt(pose geom.Transform) fusion.VehicleState {
@@ -265,12 +299,34 @@ func (l *EpisodeLab) Run(opts EpisodeOptions) (*EpisodeResult, error) {
 		return nil, err
 	}
 
+	// Phase 1.5 — non-raw backends pre-encode every sender capture's
+	// broadcast in parallel: the channel plan below needs the sizes, and
+	// the frame fan-out reuses the cached bytes.
+	backend := opts.backend()
+	det := spod.New(l.detectorConfig())
+	if _, raw := backend.(fusion.RawBackend); !raw {
+		var encJobs []capJob
+		for k := 0; k < opts.Frames; k++ {
+			for _, s := range senders {
+				encJobs = append(encJobs, capJob{s, at(k)})
+			}
+		}
+		encScratches := spod.NewScratches(parallel.WorkerCount(opts.Workers, len(encJobs)))
+		if _, err := parallel.MapErrWorker(opts.Workers, len(encJobs), func(w, i int) (struct{}, error) {
+			e := l.capture(encJobs[i].pose, encJobs[i].t)
+			_, err := l.payloadFor(e, backend, det, l.stateAt(e.pose), encScratches[w])
+			return struct{}{}, err
+		}); err != nil {
+			return nil, err
+		}
+	}
+
 	// Phase 2 — the broadcast timeline on the sim clock. Round j (the
 	// senders' frames captured at t_j) becomes fusable at
 	// t_j + Plan.Ready(); each frame k fuses the newest round ready by
 	// t_k. Ready events are scheduled before fusion events, so a round
 	// landing exactly on a frame boundary is fused that frame. Slots are
-	// planned from the raw capture encodes: compensation preserves the
+	// planned from the capture encodes: compensation preserves the
 	// point count, and the warp target depends on this very schedule, so
 	// planning from compensated sizes would be circular.
 	sched := episodeScheduler(opts.Hz, opts.Delay)
@@ -278,7 +334,12 @@ func (l *EpisodeLab) Run(opts EpisodeOptions) (*EpisodeResult, error) {
 	for j := 0; j < opts.Frames; j++ {
 		sizes := make([]int, len(senders))
 		for si, s := range senders {
-			sizes[si] = len(l.capture(s, at(j)).payload)
+			e := l.capture(s, at(j))
+			payload, err := l.payloadFor(e, backend, det, l.stateAt(e.pose), nil)
+			if err != nil {
+				return nil, err
+			}
+			sizes[si] = len(payload)
 		}
 		plans[j] = sched.Plan(sizes)
 	}
@@ -336,35 +397,39 @@ func (l *EpisodeLab) Run(opts EpisodeOptions) (*EpisodeResult, error) {
 			fe.frame.Staleness = tk - tj
 			fe.frame.RoundLatency = plans[j].Ready()
 			fe.frame.Senders = len(senders)
-			aligned := make([]*pointcloud.Cloud, 0, len(senders))
+			payloads := make([]fusion.Payload, 0, len(senders))
 			deltaD := 0.0
 			for _, s := range senders {
 				cap := l.capture(s, tj)
 				// Compensation warps the cloud to this frame's consumption
 				// time, so it must re-encode; the uncompensated broadcast
 				// is exactly the capture's cached encode.
-				payload := cap.payload
-				if opts.Compensate {
-					cloud := CompensateScan(sc, cap.scan, cap.pose, tj, tk)
-					var err error
-					payload, err = pointcloud.EncodeQuantized(l.cropFOV(cloud))
-					if err != nil {
-						return frameEval{}, fmt.Errorf("core: frame %d sender %d: %w", k, s, err)
-					}
-				}
-				fe.frame.PayloadBytes += len(payload)
-				decoded, err := pointcloud.Decode(payload)
+				payload, err := l.payloadFor(cap, backend, det, l.stateAt(cap.pose), scratch)
 				if err != nil {
 					return frameEval{}, fmt.Errorf("core: frame %d sender %d: %w", k, s, err)
 				}
-				aligned = append(aligned, fusion.Align(recvState, l.stateAt(cap.pose), decoded))
+				if opts.Compensate {
+					cloud := CompensateScan(sc, cap.scan, cap.pose, tj, tk)
+					p, err := backend.Encode(fusion.SensorFrame{
+						State: l.stateAt(cap.pose), Cloud: l.cropFOV(cloud), Detector: det,
+					}, scratch)
+					if err != nil {
+						return frameEval{}, fmt.Errorf("core: frame %d sender %d: %w", k, s, err)
+					}
+					payload = p.Data
+				}
+				fe.frame.PayloadBytes += len(payload)
+				payloads = append(payloads, fusion.Payload{State: l.stateAt(cap.pose), Data: payload})
 				if d := cap.pose.T.DistXY(own.pose.T); d > deltaD {
 					deltaD = d
 				}
 			}
-			merged := fusion.Merge(ownCloud, aligned...)
-			coopCfg := spod.CoopConfig(l.detectorConfig(), deltaD)
-			coopDets, _ = spod.New(coopCfg).DetectWithStatsScratch(merged, scratch)
+			in, err := backend.Fuse(fusion.SensorFrame{State: recvState, Cloud: ownCloud, Detector: det}, payloads)
+			if err != nil {
+				return frameEval{}, fmt.Errorf("core: frame %d: %w", k, err)
+			}
+			in.MaxDist = deltaD
+			coopDets, _ = in.Detect(l.detectorConfig(), scratch)
 			fe.assoc = EvaluateDetectionsAssoc(snapEval, receiver, participants, coopDets)
 			fe.frame.Coop = fe.assoc.Stats
 		}

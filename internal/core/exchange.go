@@ -56,6 +56,20 @@ func (v *Vehicle) PreparePackage(filter CloudFilter) (ExchangePackage, error) {
 	return ExchangePackage{SenderID: v.ID, State: v.state, Payload: payload}, nil
 }
 
+// SensorFrame builds the backend-layer view of the vehicle's latest
+// scan — state, (optionally filtered) cloud and detector — the unit a
+// fusion.Backend encodes or budget-selects.
+func (v *Vehicle) SensorFrame(filter CloudFilter) (fusion.SensorFrame, error) {
+	if v.lastScan.Cloud == nil {
+		return fusion.SensorFrame{}, fmt.Errorf("vehicle %s: %w", v.ID, ErrNoScan)
+	}
+	cloud := v.lastScan.Cloud
+	if filter != nil {
+		cloud = filter(cloud)
+	}
+	return fusion.SensorFrame{State: v.state, Cloud: cloud, Detector: v.detector}, nil
+}
+
 // ReceivePackage decodes a package and aligns its cloud into this
 // vehicle's sensor frame using both vehicles' GPS/IMU states (Eq. 3).
 func (v *Vehicle) ReceivePackage(pkg ExchangePackage) (*pointcloud.Cloud, error) {

@@ -67,10 +67,32 @@ type RunOptions struct {
 	Drift fusion.DriftMode
 	// DriftSeed fixes the drift directions.
 	DriftSeed int64
-	// UseICP enables the ICP alignment refinement after GPS alignment.
+	// UseICP enables the ICP alignment refinement after GPS alignment
+	// (raw backend only).
 	UseICP bool
 	// Filter optionally restricts the exchanged cloud (ROI categories).
 	Filter CloudFilter
+	// Backend selects the fusion strategy; nil means raw-cloud fusion.
+	Backend fusion.Backend
+	// BudgetBytes caps each sender's payload, selecting through the
+	// backend's ROI ladder; <= 0 transmits the full encoding.
+	BudgetBytes int
+}
+
+// backend resolves the run's fusion backend, folding the ICP knob into
+// the default raw strategy.
+func (o RunOptions) backend() fusion.Backend {
+	switch b := o.Backend.(type) {
+	case nil:
+		return fusion.RawBackend{UseICP: o.UseICP}
+	case fusion.RawBackend:
+		if o.UseICP {
+			b.UseICP = true
+		}
+		return b
+	default:
+		return o.Backend
+	}
 }
 
 // ScenarioRunner evaluates a scenario's cooperative cases. It caches each
@@ -233,43 +255,54 @@ func (r *ScenarioRunner) runCase(c scene.CoopCase, opts RunOptions, scratch *spo
 			return cl
 		}
 	}
+	backend := opts.backend()
 	var driftRNG *rand.Rand
 	if opts.Drift != 0 && opts.Drift != fusion.DriftNone {
 		// One stream, consumed in sender order, keeps drift deterministic
 		// at any worker count and identical to the old pairwise draw.
 		driftRNG = rand.New(rand.NewSource(opts.DriftSeed))
 	}
-	aligned := make([]*pointcloud.Cloud, 0, len(senders))
+	payloads := make([]fusion.Payload, 0, len(senders))
 	for _, sIdx := range senders {
 		vs := r.vehicles[sIdx]
 		r.cloudFor(sIdx) // ensure the sender has sensed
-		pkg, err := vs.PreparePackage(filter)
+		frame, err := vs.SensorFrame(filter)
 		if err != nil {
 			return nil, fmt.Errorf("case %s: %w", c.Name, err)
 		}
-		out.SenderPayloads = append(out.SenderPayloads, pkg.PayloadBytes())
-		out.SenderCloudPoints = append(out.SenderCloudPoints, pointcloud.QuantizedPointsFor(pkg.PayloadBytes()))
-		out.PayloadBytes += pkg.PayloadBytes()
+		var p fusion.Payload
+		if opts.BudgetBytes > 0 {
+			sel, err := backend.Select(frame, opts.BudgetBytes, scratch)
+			if err != nil {
+				return nil, fmt.Errorf("case %s: %w", c.Name, err)
+			}
+			p = fusion.Payload{State: frame.State, Data: sel.Payload, Points: sel.Points}
+		} else if p, err = backend.Encode(frame, scratch); err != nil {
+			return nil, fmt.Errorf("case %s: %w", c.Name, err)
+		}
+		p.SenderID = vs.ID
+		out.SenderPayloads = append(out.SenderPayloads, backend.Cost(p))
+		out.SenderCloudPoints = append(out.SenderCloudPoints, p.Points)
+		out.PayloadBytes += backend.Cost(p)
 		if driftRNG != nil {
-			pkg.State = fusion.ApplyDrift(pkg.State, opts.Drift, driftRNG)
+			p.State = fusion.ApplyDrift(p.State, opts.Drift, driftRNG)
 		}
-		al, err := vi.ReceivePackage(pkg)
-		if err != nil {
-			return nil, fmt.Errorf("case %s: %w", c.Name, err)
-		}
-		if opts.UseICP {
-			corr := fusion.RefineAlignment(cloudI, al, fusion.DefaultICPConfig())
-			al = al.Transform(corr)
-		}
-		aligned = append(aligned, al)
+		payloads = append(payloads, p)
 	}
-	merged := fusion.Merge(cloudI, aligned...)
-	out.CloudPointsCoop = merged.Len()
+	in, err := backend.Fuse(fusion.SensorFrame{State: vi.State(), Cloud: cloudI, Detector: vi.detector}, payloads)
+	if err != nil {
+		return nil, fmt.Errorf("case %s: %w", c.Name, err)
+	}
+	// The scenario knows the true inter-vehicle distance; the GPS-derived
+	// estimate is overridden so the cooperative range gate matches the
+	// union of both vehicles' detection areas exactly.
+	in.MaxDist = out.DeltaD
+	out.CloudPointsCoop = in.Cloud.Len()
 
-	// Cooperative pass: same pipeline with merged-cloud preprocessing and
-	// the detection area widened to the union of both vehicles' areas.
-	coopCfg := spod.CoopConfig(vi.detector.Config(), out.DeltaD)
-	out.DetsCoop, out.StatsCoop = spod.New(coopCfg).DetectWithStatsScratch(merged, scratch)
+	// Cooperative pass: same pipeline with backend-appropriate
+	// preprocessing and the detection area widened to the union of both
+	// vehicles' areas.
+	out.DetsCoop, out.StatsCoop = in.Detect(vi.detector.Config(), scratch)
 
 	// Ground truth per column, in the observing vehicle's sensor frame.
 	cars := sc.Scene.Cars()

@@ -162,10 +162,11 @@ type Generator func(s *Suite, w io.Writer) error
 
 // Registry maps figure numbers to generators. Figure 13 is the §IV-G
 // wire-codec / DSRC feasibility analysis (a claims table rather than a
-// plotted figure in the paper); figures 14 and 15 go beyond the paper:
+// plotted figure in the paper); figures 14–16 go beyond the paper:
 // the fleet-scale N-way fusion sweep over generated scenario families,
-// and the dynamic-episode sweep of latency-compensated fusion versus
-// channel delay and frame rate.
+// the dynamic-episode sweep of latency-compensated fusion versus
+// channel delay and frame rate, and the raw-vs-feature fusion-backend
+// comparison under payload caps.
 func Registry() map[int]Generator {
 	return map[int]Generator{
 		2:  Fig2,
@@ -182,6 +183,7 @@ func Registry() map[int]Generator {
 		13: Fig13,
 		14: FigFleet,
 		15: FigEpisodes,
+		16: FigFeature,
 	}
 }
 

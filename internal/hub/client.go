@@ -66,8 +66,38 @@ func (c *Client) Publish(state fusion.VehicleState, payload []byte) (cached int,
 // bandwidth cap of budgetBps bits/s (0 each for the hub defaults) and
 // collects the announced frames in slot order.
 func (c *Client) RequestRound(state fusion.VehicleState, k int, budgetBps uint64) ([]RoundFrame, error) {
+	return c.requestRound(state, k, budgetBps, network.MsgFuseRequest, network.MsgFrame)
+}
+
+// PublishFeatures sends one CPF3-encoded feature frame and waits for the
+// hub's ack, mirroring Publish's sequence discipline.
+func (c *Client) PublishFeatures(state fusion.VehicleState, payload []byte) (cached int, err error) {
+	c.seq++
 	if err := c.conn.Send(network.Message{
-		Type:   network.MsgFuseRequest,
+		Type:    network.MsgFeatureFrame,
+		Sender:  c.id,
+		State:   state,
+		Payload: payload,
+		Seq:     c.seq,
+	}); err != nil {
+		return 0, err
+	}
+	ack, err := c.receive(network.MsgFeatureFrame)
+	if err != nil {
+		return 0, err
+	}
+	return int(ack.Count), nil
+}
+
+// RequestFeatureRound is RequestRound at the feature level: every frame
+// arrives as a budget-trimmed CPF3 feature payload.
+func (c *Client) RequestFeatureRound(state fusion.VehicleState, k int, budgetBps uint64) ([]RoundFrame, error) {
+	return c.requestRound(state, k, budgetBps, network.MsgFeatureFuseRequest, network.MsgFeatureFrame)
+}
+
+func (c *Client) requestRound(state fusion.VehicleState, k int, budgetBps uint64, req, frameType network.MsgType) ([]RoundFrame, error) {
+	if err := c.conn.Send(network.Message{
+		Type:   req,
 		Sender: c.id,
 		State:  state,
 		Count:  uint32(max(k, 0)),
@@ -81,7 +111,7 @@ func (c *Client) RequestRound(state fusion.VehicleState, k int, budgetBps uint64
 	}
 	frames := make([]RoundFrame, 0, reply.Count)
 	for i := uint32(0); i < reply.Count; i++ {
-		m, err := c.receive(network.MsgFrame)
+		m, err := c.receive(frameType)
 		if err != nil {
 			return nil, err
 		}

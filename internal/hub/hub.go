@@ -4,9 +4,16 @@
 // by assembling K-sender broadcast rounds under the DSRC scheduler's
 // budget. When a requester advertises a bandwidth cap, each selected
 // frame is refitted with the ROI payload ladder (full frame → 120° front
-// FOV → stride-downsampled) so the round's payloads honour the cap — the
-// serving-layer composition of the paper's §II-C exchange protocol and
-// §IV-G data-volume analysis.
+// FOV → stride-downsampled → sparse feature frame) so the round's
+// payloads honour the cap — the serving-layer composition of the paper's
+// §II-C exchange protocol and §IV-G data-volume analysis.
+//
+// Frames publish in either fusion encoding: raw quantized clouds or CPF3
+// feature frames (the F-Cooper level). Requesters choose per round — a
+// feature-level request serves every sender as a budget-trimmed feature
+// frame, deriving it once from raw publishes; a raw request falls back to
+// a publisher's feature frame only when that is all the publisher sent or
+// the budget is below the cheapest point rung.
 //
 // The hub speaks protocol v2 (network.MsgHello and friends) to fleet
 // clients and still answers a v1 MsgROIRequest with the nearest cached
@@ -24,6 +31,7 @@ import (
 	"cooper/internal/network"
 	"cooper/internal/pointcloud"
 	"cooper/internal/roi"
+	"cooper/internal/spod"
 )
 
 // Config parameterises a hub.
@@ -46,12 +54,53 @@ type Config struct {
 const DefaultMaxSenders = 8
 
 // cachedFrame is one vehicle's latest published frame, decoded once at
-// publish time so budget refits never re-decode on the request path.
+// publish time so budget refits never re-decode on the request path. A
+// raw publish fills cloud; a feature publish fills feat and leaves cloud
+// nil. Whichever form is missing is derived lazily (and at most once) on
+// the request paths that need it.
 type cachedFrame struct {
 	state   fusion.VehicleState
 	payload []byte
 	cloud   *pointcloud.Cloud
+	feat    *spod.FeatureFrame
 	seq     uint64
+
+	featOnce    sync.Once
+	featDerived *spod.FeatureFrame
+	featPayOnce sync.Once
+	featPayload []byte
+}
+
+// features returns the frame's sparse feature planes, deriving them from
+// the cached cloud on first use for raw publishes. Returns nil only for
+// a frame with neither form (which Publish never caches).
+func (f *cachedFrame) features() *spod.FeatureFrame {
+	if f.feat != nil {
+		return f.feat
+	}
+	if f.cloud == nil {
+		return nil
+	}
+	f.featOnce.Do(func() {
+		f.featDerived = spod.NewDefault().EncodeFeatureFrame(f.cloud, nil).
+			Prune(fusion.DefaultFeatureBackend().TransmitFloor)
+	})
+	return f.featDerived
+}
+
+// featureSource lifts the frame into the ROI ladder's selection source.
+func (f *cachedFrame) featureSource() roi.Source {
+	return roi.Source{Cloud: f.cloud, Features: f.feat, Derive: f.features}
+}
+
+// featureWire returns the frame's uncapped CPF3 wire bytes, encoding at
+// most once per cached frame.
+func (f *cachedFrame) featureWire() []byte {
+	if f.cloud == nil {
+		return f.payload // published as CPF3 already
+	}
+	f.featPayOnce.Do(func() { f.featPayload = f.features().Encode() })
+	return f.featPayload
 }
 
 // Hub is the fleet server. All methods are safe for concurrent use; the
@@ -90,24 +139,34 @@ func (h *Hub) logf(format string, args ...any) {
 }
 
 // Publish stores a vehicle's frame as its latest, replacing any cached
-// frame with a lower or equal sequence number. The payload must decode as
-// a point cloud; undecodable payloads are rejected so the request path
-// can rely on every cached frame being fusable. Returns the number of
-// vehicles cached after the publish.
+// frame with a lower or equal sequence number. The payload must decode —
+// as a point cloud, or, when it carries the CPF3 magic, as a feature
+// frame — so the request path can rely on every cached frame being
+// fusable. Returns the number of vehicles cached after the publish.
 func (h *Hub) Publish(sender string, state fusion.VehicleState, payload []byte, seq uint64) (int, error) {
 	if sender == "" {
 		return 0, fmt.Errorf("hub: publish with empty sender")
 	}
-	cloud, err := pointcloud.Decode(payload)
-	if err != nil {
-		return 0, fmt.Errorf("hub: frame from %s: %w", sender, err)
+	frame := &cachedFrame{state: state, payload: payload, seq: seq}
+	if spod.IsFeaturePayload(payload) {
+		feat, err := spod.DecodeFeatureFrame(payload)
+		if err != nil {
+			return 0, fmt.Errorf("hub: feature frame from %s: %w", sender, err)
+		}
+		frame.feat = feat
+	} else {
+		cloud, err := pointcloud.Decode(payload)
+		if err != nil {
+			return 0, fmt.Errorf("hub: frame from %s: %w", sender, err)
+		}
+		frame.cloud = cloud
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if prev, ok := h.frames[sender]; ok && prev.seq > seq {
 		return len(h.frames), nil // stale frame raced a newer one: keep latest
 	}
-	h.frames[sender] = &cachedFrame{state: state, payload: payload, cloud: cloud, seq: seq}
+	h.frames[sender] = frame
 	return len(h.frames), nil
 }
 
@@ -152,6 +211,19 @@ type Round struct {
 // budget fully determine the round, including slot order (nearest first,
 // sender ID breaking distance ties).
 func (h *Hub) AssembleRound(requester string, at geom.Vec3, k int, budgetBps uint64) (Round, error) {
+	return h.assembleRound(requester, at, k, budgetBps, false)
+}
+
+// AssembleFeatureRound is AssembleRound for a feature-level requester:
+// every selected frame is served as a CPF3 feature payload — derived once
+// from raw publishes, trimmed by column salience under the budget — so
+// the round fuses past the convolution seam regardless of how each sender
+// published.
+func (h *Hub) AssembleFeatureRound(requester string, at geom.Vec3, k int, budgetBps uint64) (Round, error) {
+	return h.assembleRound(requester, at, k, budgetBps, true)
+}
+
+func (h *Hub) assembleRound(requester string, at geom.Vec3, k int, budgetBps uint64, feature bool) (Round, error) {
 	if k <= 0 {
 		k = h.cfg.MaxSenders
 	}
@@ -195,12 +267,25 @@ func (h *Hub) AssembleRound(requester string, at geom.Vec3, k int, budgetBps uin
 	sizes := make([]int, 0, len(cands))
 	for _, c := range cands {
 		rf := RoundFrame{Sender: c.id, State: c.frame.state}
-		if perSender == 0 {
+		switch {
+		case perSender == 0 && !feature && c.frame.cloud != nil:
 			rf.Payload = c.frame.payload
 			rf.Category = roi.CategoryFullFrame
 			rf.Points = c.frame.cloud.Len()
-		} else {
-			sel, err := roi.SelectPayload(c.frame.cloud, perSender)
+		case perSender == 0:
+			// Feature requester, or a feature-only publish a raw requester
+			// still fuses: serve the uncapped feature frame.
+			rf.Payload = c.frame.featureWire()
+			rf.Category = roi.CategoryFeature
+			rf.Points = c.frame.features().Sites()
+		default:
+			var sel roi.Selection
+			var err error
+			if feature {
+				sel, err = roi.SelectFeature(c.frame.featureSource(), perSender)
+			} else {
+				sel, err = roi.Select(c.frame.featureSource(), perSender)
+			}
 			if err != nil {
 				return Round{}, fmt.Errorf("hub: fitting %s's frame: %w", c.id, err)
 			}

@@ -8,6 +8,7 @@ import (
 
 	"cooper/internal/core"
 	"cooper/internal/eval"
+	"cooper/internal/fusion"
 	"cooper/internal/network"
 	"cooper/internal/parallel"
 	"cooper/internal/roi"
@@ -43,6 +44,10 @@ type SelfTestOptions struct {
 	Frames int
 	// Hz is the streaming frame rate (default 2).
 	Hz float64
+	// Backend selects the fusion strategy the fleet exchanges with (nil
+	// = raw clouds). The feature backend publishes CPF3 frames and
+	// requests feature-level rounds.
+	Backend fusion.Backend
 }
 
 // selfReport is one client's deterministic round outcome.
@@ -86,6 +91,11 @@ func SelfTest(w io.Writer, opts SelfTestOptions) error {
 	if opts.Hz <= 0 {
 		opts.Hz = 2
 	}
+	backend := opts.Backend
+	if backend == nil {
+		backend = fusion.RawBackend{}
+	}
+	feature := backend.Name() == "feature"
 	sc, err := scene.Generate(scene.GenParams{Family: fam, Fleet: opts.Fleet, Seed: opts.Seed, Traffic: opts.Traffic})
 	if err != nil {
 		return err
@@ -153,11 +163,20 @@ func SelfTest(w io.Writer, opts SelfTestOptions) error {
 		vehicles, err := parallel.MapErr(opts.Workers, opts.Fleet, func(i int) (*core.Vehicle, error) {
 			v := core.PoseVehicleSeeded(snap, i, sc.Seed+int64(i)*997+int64(f)*100003).SetWorkers(1)
 			v.Sense(snap.Scene.Targets(), snap.Scene.GroundZ)
-			pkg, err := v.PreparePackage(nil)
+			frame, err := v.SensorFrame(nil)
 			if err != nil {
 				return nil, err
 			}
-			if _, err := clients[i].Publish(v.State(), pkg.Payload); err != nil {
+			p, err := backend.Encode(frame, nil)
+			if err != nil {
+				return nil, err
+			}
+			if feature {
+				_, err = clients[i].PublishFeatures(v.State(), p.Data)
+			} else {
+				_, err = clients[i].Publish(v.State(), p.Data)
+			}
+			if err != nil {
 				return nil, err
 			}
 			return v, nil
@@ -171,7 +190,7 @@ func SelfTest(w io.Writer, opts SelfTestOptions) error {
 		// derive it once per vehicle here rather than per pair.
 		selections := make(map[string]roi.Selection, opts.Fleet)
 		for _, label := range sc.PoseLabels {
-			sel, err := selectionFor(h, label, k, budgetBps)
+			sel, err := selectionFor(h, label, k, budgetBps, feature)
 			if err != nil {
 				return err
 			}
@@ -184,7 +203,13 @@ func SelfTest(w io.Writer, opts SelfTestOptions) error {
 		reports, err := parallel.MapErrWorker(opts.Workers, opts.Fleet, func(w, i int) (selfReport, error) {
 			scratch := scratches[w]
 			v := vehicles[i]
-			rframes, err := clients[i].RequestRound(v.State(), k, budgetBps)
+			var rframes []RoundFrame
+			var err error
+			if feature {
+				rframes, err = clients[i].RequestFeatureRound(v.State(), k, budgetBps)
+			} else {
+				rframes, err = clients[i].RequestRound(v.State(), k, budgetBps)
+			}
 			if err != nil {
 				return selfReport{}, err
 			}
@@ -196,14 +221,14 @@ func SelfTest(w io.Writer, opts SelfTestOptions) error {
 			}
 			rep.single = core.EvaluateDetections(snap, i, nil, singles)
 
-			pkgs := make([]core.ExchangePackage, 0, len(rframes))
+			payloads := make([]fusion.Payload, 0, len(rframes))
 			sizes := make([]int, 0, len(rframes))
 			participants := []int{i}
 			for _, rf := range rframes {
 				rep.senders = append(rep.senders, rf.Sender)
 				rep.payloadSum += len(rf.Payload)
 				sizes = append(sizes, len(rf.Payload))
-				pkgs = append(pkgs, core.ExchangePackage{SenderID: rf.Sender, State: rf.State, Payload: rf.Payload})
+				payloads = append(payloads, fusion.Payload{SenderID: rf.Sender, State: rf.State, Data: rf.Payload})
 				p, ok := poseOf[rf.Sender]
 				if !ok {
 					return selfReport{}, fmt.Errorf("hub: round frame from unknown vehicle %q", rf.Sender)
@@ -215,10 +240,15 @@ func SelfTest(w io.Writer, opts SelfTestOptions) error {
 					rep.downsampled++
 				}
 			}
-			coopDets, _, err := v.CooperativeDetectWith(scratch, pkgs...)
+			recv, err := v.SensorFrame(nil)
 			if err != nil {
 				return selfReport{}, err
 			}
+			in, err := backend.Fuse(recv, payloads)
+			if err != nil {
+				return selfReport{}, err
+			}
+			coopDets, _ := in.Detect(recv.Detector.Config(), scratch)
 			rep.assoc = core.EvaluateDetectionsAssoc(snap, i, participants, coopDets)
 			rep.coop = rep.assoc.Stats
 			rep.plan = h.cfg.Scheduler.Plan(sizes)
@@ -251,7 +281,7 @@ func SelfTest(w io.Writer, opts SelfTestOptions) error {
 
 // selectionFor reports the payload-selection rung the hub used for one
 // sender in a round of n frames under the given cap.
-func selectionFor(h *Hub, sender string, n int, budgetBps uint64) (roi.Selection, error) {
+func selectionFor(h *Hub, sender string, n int, budgetBps uint64, feature bool) (roi.Selection, error) {
 	h.mu.RLock()
 	f := h.frames[sender]
 	h.mu.RUnlock()
@@ -259,6 +289,9 @@ func selectionFor(h *Hub, sender string, n int, budgetBps uint64) (roi.Selection
 		return roi.Selection{}, fmt.Errorf("hub: no cached frame for %s", sender)
 	}
 	if budgetBps == 0 {
+		if feature || f.cloud == nil {
+			return roi.Selection{Payload: f.featureWire(), Category: roi.CategoryFeature, Points: f.features().Sites()}, nil
+		}
 		return roi.Selection{Payload: f.payload, Category: roi.CategoryFullFrame, Points: f.cloud.Len()}, nil
 	}
 	roundBytes := float64(budgetBps) / 8 / h.cfg.Scheduler.RateHz
@@ -266,18 +299,29 @@ func selectionFor(h *Hub, sender string, n int, budgetBps uint64) (roi.Selection
 	if perSender < 1 {
 		perSender = 1
 	}
-	return roi.SelectPayload(f.cloud, perSender)
+	if feature {
+		return roi.SelectFeature(f.featureSource(), perSender)
+	}
+	return roi.Select(f.featureSource(), perSender)
 }
 
 func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+
+// backendName labels the report header with the fusion strategy.
+func backendName(opts SelfTestOptions) string {
+	if opts.Backend == nil {
+		return fusion.RawBackend{}.Name()
+	}
+	return opts.Backend.Name()
+}
 
 func printSelfTest(w io.Writer, sc *scene.Scenario, opts SelfTestOptions, k int, budgetBps uint64, reports []selfReport) {
 	budget := "uncapped"
 	if budgetBps > 0 {
 		budget = fmt.Sprintf("%.2f Mbit/s", float64(budgetBps)/1e6)
 	}
-	fmt.Fprintf(w, "selftest %s fleet=%d seed=%d k=%d budget=%s\n",
-		opts.Family, opts.Fleet, opts.Seed, k, budget)
+	fmt.Fprintf(w, "selftest %s fleet=%d seed=%d k=%d budget=%s backend=%s\n",
+		opts.Family, opts.Fleet, opts.Seed, k, budget, backendName(opts))
 	fmt.Fprintf(w, "scenario %s: %d-beam LiDAR, %d poses, %d ground-truth cars\n",
 		sc.Name, sc.LiDAR.BeamCount(), len(sc.Poses), len(sc.Scene.Cars()))
 
@@ -286,7 +330,7 @@ func printSelfTest(w io.Writer, sc *scene.Scenario, opts SelfTestOptions, k int,
 	var maxCompletion int64
 	for _, r := range reports {
 		cats := make([]string, 0, 2)
-		for _, cat := range []roi.Category{roi.CategoryFullFrame, roi.CategoryFrontFOV, roi.CategoryLeadView} {
+		for _, cat := range []roi.Category{roi.CategoryFullFrame, roi.CategoryFrontFOV, roi.CategoryLeadView, roi.CategoryFeature} {
 			if n := r.categories[cat]; n > 0 {
 				cats = append(cats, fmt.Sprintf("%d× cat%d", n, cat))
 			}
@@ -324,8 +368,8 @@ func printStreaming(w io.Writer, sc *scene.Scenario, opts SelfTestOptions, frame
 	if budgetBps > 0 {
 		budget = fmt.Sprintf("%.2f Mbit/s", float64(budgetBps)/1e6)
 	}
-	fmt.Fprintf(w, "selftest %s fleet=%d seed=%d k=%d budget=%s frames=%d hz=%g\n",
-		opts.Family, opts.Fleet, opts.Seed, k, budget, frames, opts.Hz)
+	fmt.Fprintf(w, "selftest %s fleet=%d seed=%d k=%d budget=%s backend=%s frames=%d hz=%g\n",
+		opts.Family, opts.Fleet, opts.Seed, k, budget, backendName(opts), frames, opts.Hz)
 	fmt.Fprintf(w, "scenario %s: %d-beam LiDAR, %d poses, %d ground-truth cars, %d moving\n",
 		sc.Name, sc.LiDAR.BeamCount(), len(sc.Poses), len(sc.Scene.Cars()), sc.MovingObjects())
 

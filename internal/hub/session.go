@@ -138,21 +138,22 @@ func (h *Hub) handle(conn *network.Transport, msg network.Message) error {
 			Count:  uint32(h.Cached()),
 		})
 
-	case network.MsgFrame:
+	case network.MsgFrame, network.MsgFeatureFrame:
 		cached, err := h.Publish(msg.Sender, msg.State, msg.Payload, msg.Seq)
 		if err != nil {
 			return h.sendError(conn, err)
 		}
 		h.logf("frame from %s (%d B, seq %d); %d vehicle(s) cached", msg.Sender, len(msg.Payload), msg.Seq, cached)
 		return conn.Send(network.Message{
-			Type:   network.MsgFrame,
+			Type:   msg.Type,
 			Sender: hubID,
 			Seq:    msg.Seq,
 			Count:  uint32(cached),
 		})
 
-	case network.MsgFuseRequest:
-		round, err := h.AssembleRound(msg.Sender, msg.State.GPS, int(msg.Count), msg.Budget)
+	case network.MsgFuseRequest, network.MsgFeatureFuseRequest:
+		feature := msg.Type == network.MsgFeatureFuseRequest
+		round, err := h.assembleRound(msg.Sender, msg.State.GPS, int(msg.Count), msg.Budget, feature)
 		if err != nil {
 			return h.sendError(conn, err)
 		}
@@ -167,9 +168,13 @@ func (h *Hub) handle(conn *network.Transport, msg network.Message) error {
 		}); err != nil {
 			return err
 		}
+		frameType := network.MsgFrame
+		if feature {
+			frameType = network.MsgFeatureFrame
+		}
 		for slot, f := range round.Frames {
 			if err := conn.Send(network.Message{
-				Type:    network.MsgFrame,
+				Type:    frameType,
 				Sender:  f.Sender,
 				State:   f.State,
 				Payload: f.Payload,

@@ -47,9 +47,30 @@ const (
 	MsgError
 )
 
+// Protocol-v3 message types, the feature-level (F-Cooper) extension of
+// the hub session protocol. A v3 message reuses the v2 layout (the
+// Budget/Count/Seq trailer) under version byte 3, so v2 peers reject the
+// version cleanly instead of misparsing the frame.
+const (
+	// MsgFeatureFrame publishes (client→hub) or delivers (hub→client)
+	// one sparse feature frame: sender state plus the CPF3-encoded
+	// post-convolution planes. Seq and the ack discipline mirror
+	// MsgFrame's.
+	MsgFeatureFrame MsgType = iota + 24
+	// MsgFeatureFuseRequest asks the hub for a feature-level fusion
+	// round: like MsgFuseRequest, but every scheduled sender arrives as
+	// a MsgFeatureFrame, budget-trimmed by column salience.
+	MsgFeatureFuseRequest
+)
+
 // V2 reports whether the type belongs to the hub session protocol and is
 // therefore framed with the version-2 wire layout.
-func (t MsgType) V2() bool { return t >= MsgHello }
+func (t MsgType) V2() bool { return t >= MsgHello && t < MsgFeatureFrame }
+
+// V3 reports whether the type belongs to the feature-level extension of
+// the hub protocol, framed with the version-3 wire layout (identical to
+// v2's, under version byte 3).
+func (t MsgType) V3() bool { return t >= MsgFeatureFrame }
 
 // Message is one Cooper exchange unit on the wire: the sender's identity
 // and GPS/IMU state plus either a point-cloud payload (shares) or a
@@ -98,20 +119,24 @@ const (
 
 // EncodeMessage serialises a message. The wire version is chosen from the
 // message type: hub-protocol types use version 2 (which appends the
-// Budget/Count/Seq trailer), everything else stays byte-compatible with
-// version 1.
+// Budget/Count/Seq trailer), feature-level types use version 3 (same
+// layout, distinct version byte), everything else stays byte-compatible
+// with version 1.
 func EncodeMessage(m Message) ([]byte, error) {
 	if len(m.Sender) > 65535 {
 		return nil, fmt.Errorf("%w: sender name too long", ErrBadMessage)
 	}
 	version := byte(1)
-	if m.Type.V2() {
+	switch {
+	case m.Type.V3():
+		version = 3
+	case m.Type.V2():
 		version = 2
-	} else if m.Budget != 0 || m.Count != 0 || m.Seq != 0 {
+	case m.Budget != 0 || m.Count != 0 || m.Seq != 0:
 		return nil, fmt.Errorf("%w: v2 fields set on v1 message type %d", ErrBadMessage, m.Type)
 	}
 	size := headerFixed + len(m.Sender) + 7*8 + 4 + len(m.Payload) + 6*8
-	if version == 2 {
+	if version >= 2 {
 		size += v2Extra
 	}
 	if size > MaxMessageSize {
@@ -134,7 +159,7 @@ func EncodeMessage(m Message) ([]byte, error) {
 	} {
 		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
 	}
-	if version == 2 {
+	if version >= 2 {
 		buf = binary.LittleEndian.AppendUint64(buf, m.Budget)
 		buf = binary.LittleEndian.AppendUint32(buf, m.Count)
 		buf = binary.LittleEndian.AppendUint64(buf, m.Seq)
@@ -154,14 +179,14 @@ func DecodeMessage(data []byte) (Message, error) {
 		return m, fmt.Errorf("%w: bad magic", ErrBadMessage)
 	}
 	version := data[4]
-	if version != 1 && version != 2 {
+	if version < 1 || version > 3 {
 		return m, fmt.Errorf("%w: unsupported version %d", ErrBadMessage, version)
 	}
 	m.Type = MsgType(data[5])
 	senderLen := int(binary.LittleEndian.Uint16(data[6:]))
 	off := headerFixed
 	fixed := senderLen + 13*8 + 4
-	if version == 2 {
+	if version >= 2 {
 		fixed += v2Extra
 	}
 	if len(data) < off+fixed {
@@ -179,7 +204,7 @@ func DecodeMessage(data []byte) (Message, error) {
 	m.State.MountHeight = read()
 	m.Region.Min = geom.V3(read(), read(), read())
 	m.Region.Max = geom.V3(read(), read(), read())
-	if version == 2 {
+	if version >= 2 {
 		m.Budget = binary.LittleEndian.Uint64(data[off:])
 		m.Count = binary.LittleEndian.Uint32(data[off+8:])
 		m.Seq = binary.LittleEndian.Uint64(data[off+12:])

@@ -1,45 +1,108 @@
 package roi
 
 import (
+	"errors"
+
 	"cooper/internal/pointcloud"
+	"cooper/internal/spod"
 )
 
 // Selection is the outcome of fitting one vehicle's frame under a wire
 // budget: the encoded payload, the ROI category that produced it and how
 // much of the scan survived.
 type Selection struct {
-	// Payload is the quantized encoding actually transmitted.
+	// Payload is the encoding actually transmitted: the quantized cloud
+	// for rungs 1–3, the CPF3 feature frame for rung 4.
 	Payload []byte
 	// Category is the ROI rung that fit: full frame when unconstrained
-	// or cheap enough, front FOV otherwise.
+	// or cheap enough, front FOV otherwise, and the feature frame when
+	// even a minimally useful downsample cannot fit.
 	Category Category
-	// Points is the transmitted point count.
+	// Points is the transmitted unit count: cloud points for rungs 1–3,
+	// voxel sites for the feature rung.
 	Points int
-	// Downsampled reports that even the front-FOV region exceeded the
-	// budget and the cloud was stride-downsampled to fit.
+	// Downsampled reports that the rung's region exceeded the budget and
+	// was reduced to fit (stride-downsampled points, trimmed feature
+	// columns).
 	Downsampled bool
 }
 
+// MinStridePoints is the smallest stride-downsampled cloud still worth
+// transmitting: below it the surviving points are too scattered to anchor
+// a detection, and the ladder prefers the feature rung, whose columns
+// carry aggregated evidence instead of isolated points.
+const MinStridePoints = 64
+
+// ErrNoSource reports a selection with nothing to select from.
+var ErrNoSource = errors.New("roi: source has neither cloud nor features")
+
+// Source is what a budget selection can draw on: the raw sensor cloud
+// and/or the detector's exported feature frame. Features may be supplied
+// directly or derived lazily via Derive — the feature rung is reached
+// rarely, and deriving runs the detector's front half, so callers cache
+// behind the closure.
+type Source struct {
+	Cloud    *pointcloud.Cloud
+	Features *spod.FeatureFrame
+	// Derive produces the feature frame on demand when Features is nil.
+	Derive func() *spod.FeatureFrame
+}
+
+// features resolves the source's feature frame, nil when unavailable.
+func (s Source) features() *spod.FeatureFrame {
+	if s.Features != nil {
+		return s.Features
+	}
+	if s.Derive != nil {
+		return s.Derive()
+	}
+	return nil
+}
+
 // SelectPayload fits a sensor-frame cloud under a per-frame wire budget
-// by walking the paper's ROI ladder, cheapest acceptable rung first:
+// by walking the raw rungs of the ROI ladder (see Select). It is the
+// cloud-only compatibility form: without a feature source the
+// stride-downsample rung is terminal and always succeeds — a budget
+// smaller than one encoding header simply yields an empty (header-only)
+// cloud.
+func SelectPayload(cloud *pointcloud.Cloud, budgetBytes int) (Selection, error) {
+	return Select(Source{Cloud: cloud}, budgetBytes)
+}
+
+// Select fits one vehicle's frame under a per-frame wire budget by
+// walking the ROI ladder, cheapest acceptable rung first:
 //
 //  1. full frame (category 1) if it fits or budgetBytes <= 0 (uncapped);
 //  2. the 120° front field of view (category 2) if that fits;
-//  3. the front FOV stride-downsampled to the budget's point capacity.
+//  3. the front FOV stride-downsampled to the budget's point capacity,
+//     provided at least MinStridePoints survive;
+//  4. the feature frame (category 4), trimmed to the budget — far
+//     cheaper per unit of detector evidence, and the only rung a
+//     feature-only source can serve.
 //
-// Selection is deterministic: the same cloud and budget always produce
-// the same payload. The final rung always succeeds — a budget smaller
-// than one encoding header simply yields an empty (header-only) cloud.
-func SelectPayload(cloud *pointcloud.Cloud, budgetBytes int) (Selection, error) {
-	full, err := pointcloud.EncodeQuantized(cloud)
+// Selection is deterministic: the same source and budget always produce
+// the same payload. The ladder never errors on a hard budget: rung 3 is
+// terminal when no feature source exists, rung 4 otherwise — both
+// degrade to a header-only payload under a budget too small for any
+// content.
+func Select(src Source, budgetBytes int) (Selection, error) {
+	if src.Cloud == nil {
+		f := src.features()
+		if f == nil {
+			return Selection{}, ErrNoSource
+		}
+		return selectFeature(f, budgetBytes), nil
+	}
+
+	full, err := pointcloud.EncodeQuantized(src.Cloud)
 	if err != nil {
 		return Selection{}, err
 	}
 	if budgetBytes <= 0 || len(full) <= budgetBytes {
-		return Selection{Payload: full, Category: CategoryFullFrame, Points: cloud.Len()}, nil
+		return Selection{Payload: full, Category: CategoryFullFrame, Points: src.Cloud.Len()}, nil
 	}
 
-	front := Extract(cloud, CategoryFrontFOV)
+	front := Extract(src.Cloud, CategoryFrontFOV)
 	enc, err := pointcloud.EncodeQuantized(front)
 	if err != nil {
 		return Selection{}, err
@@ -48,10 +111,47 @@ func SelectPayload(cloud *pointcloud.Cloud, budgetBytes int) (Selection, error) 
 		return Selection{Payload: enc, Category: CategoryFrontFOV, Points: front.Len()}, nil
 	}
 
+	if pointcloud.MaxQuantizedPoints(budgetBytes) >= MinStridePoints {
+		reduced := front.DownsampleTo(pointcloud.MaxQuantizedPoints(budgetBytes))
+		enc, err = pointcloud.EncodeQuantized(reduced)
+		if err != nil {
+			return Selection{}, err
+		}
+		return Selection{Payload: enc, Category: CategoryFrontFOV, Points: reduced.Len(), Downsampled: true}, nil
+	}
+
+	if f := src.features(); f != nil {
+		return selectFeature(f, budgetBytes), nil
+	}
+
+	// No feature source: the stride rung stays terminal (compatibility
+	// with cloud-only callers), however small the budget.
 	reduced := front.DownsampleTo(pointcloud.MaxQuantizedPoints(budgetBytes))
 	enc, err = pointcloud.EncodeQuantized(reduced)
 	if err != nil {
 		return Selection{}, err
 	}
 	return Selection{Payload: enc, Category: CategoryFrontFOV, Points: reduced.Len(), Downsampled: true}, nil
+}
+
+// SelectFeature fits the source's feature frame under the budget — the
+// whole ladder of a feature-backend sender, which never transmits raw
+// points.
+func SelectFeature(src Source, budgetBytes int) (Selection, error) {
+	f := src.features()
+	if f == nil {
+		return Selection{}, ErrNoSource
+	}
+	return selectFeature(f, budgetBytes), nil
+}
+
+// selectFeature trims and encodes a feature frame under the budget.
+func selectFeature(f *spod.FeatureFrame, budgetBytes int) Selection {
+	trimmed := f.TrimToBudget(budgetBytes)
+	return Selection{
+		Payload:     trimmed.Encode(),
+		Category:    CategoryFeature,
+		Points:      trimmed.Sites(),
+		Downsampled: trimmed != f,
+	}
 }

@@ -36,6 +36,11 @@ const (
 	// CategoryLeadView shares the leader's front view one way
 	// (lead/trailing, scenario 3).
 	CategoryLeadView
+	// CategoryFeature shares the detector's sparse post-convolution
+	// feature frame instead of points — the feature-level (F-Cooper)
+	// rung, far cheaper per unit of detector evidence and the fallback
+	// when a point payload cannot fit the budget.
+	CategoryFeature
 )
 
 // String implements fmt.Stringer.
@@ -47,6 +52,8 @@ func (c Category) String() string {
 		return "ROI 2 (120° front FOV)"
 	case CategoryLeadView:
 		return "ROI 3 (lead view, one-way)"
+	case CategoryFeature:
+		return "ROI 4 (feature frame)"
 	default:
 		return "ROI ?"
 	}

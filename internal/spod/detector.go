@@ -152,7 +152,18 @@ func (d *Detector) DetectWithStatsScratch(cloud *pointcloud.Cloud, s *DetectorSc
 	var st Stats
 	st.InputPoints = cloud.Len()
 	start := time.Now()
+	tensor, grid, nonGround, groundZ := d.frontHalf(cloud, s, &st)
+	dets := d.backHalf(tensor, grid, nonGround, groundZ, nil, s, &st)
+	st.Total = time.Since(start)
+	return dets, st
+}
 
+// frontHalf runs stages 1–3 of the pipeline — preprocessing, voxel
+// feature encoding and the sparse convolutional middle layers — up to the
+// post-convolution seam. The returned tensor, grid and cloud alias the
+// scratch. This is the half a feature-level sender executes before
+// exporting its planes (EncodeFeatureFrame).
+func (d *Detector) frontHalf(cloud *pointcloud.Cloud, s *DetectorScratch, st *Stats) (*SparseTensor, *VoxelGrid, *pointcloud.Cloud, float64) {
 	// Stage 1 — preprocessing: spherical projection to a dense, deduped
 	// representation (SqueezeSeg-style) for single-origin clouds, or an
 	// origin-free voxel dedup for merged ones; then ground removal.
@@ -183,9 +194,18 @@ func (d *Detector) DetectWithStatsScratch(cloud *pointcloud.Cloud, s *DetectorSc
 	s.featA = featA
 	tensor = runMiddleLayers(tensor, d.cfg.MiddleLayers, s)
 	st.ConvTime = time.Since(t0)
+	return tensor, grid, nonGround, groundZ
+}
 
+// backHalf runs stages 4–5 — BEV projection, region proposal, anchor
+// fitting, scoring and NMS — on a (possibly fused) tensor. ps optionally
+// supplies remote pseudo-points per BEV column: feature-level fusion has
+// no transmitted raw points for regions only a sender saw, so each
+// aligned remote site stands in as one point of cluster evidence,
+// appended after the receiver's own points in the fixed column order.
+func (d *Detector) backHalf(tensor *SparseTensor, grid *VoxelGrid, nonGround *pointcloud.Cloud, groundZ float64, ps *pseudoSet, s *DetectorScratch, st *Stats) []Detection {
 	// Stage 4 — BEV projection and region proposal.
-	t0 = time.Now()
+	t0 := time.Now()
 	s.bevObj = grow(s.bevObj, len(tensor.Cols))
 	s.bevTop = grow(s.bevTop, len(tensor.Cols))
 	bev := projectBEVInto(tensor, grid, s.bevObj, s.bevTop)
@@ -198,15 +218,31 @@ func (d *Detector) DetectWithStatsScratch(cloud *pointcloud.Cloud, s *DetectorSc
 	pool := s.pool[:0]
 	for ci := 0; ci < props.Len(); ci++ {
 		idxs := s.ptBuf[:0]
+		pseudo := 0
 		for _, cell := range props.Component(ci) {
 			k := props.Key(cell)
 			idxs = append(idxs, grid.ColumnPoints(k.X, k.Y)...)
+			if ps != nil {
+				lo, hi := ps.column(packXY(k.X, k.Y))
+				pseudo += int(hi - lo)
+			}
 		}
 		s.ptBuf = idxs
-		if len(idxs) < d.cfg.MinClusterPoints {
+		if len(idxs)+pseudo < d.cfg.MinClusterPoints {
 			continue
 		}
 		cp := gatherCluster(nonGround, idxs)
+		if pseudo > 0 {
+			// Append the component's pseudo-points in the same fixed cell
+			// order the own-point gather used.
+			for _, cell := range props.Component(ci) {
+				k := props.Key(cell)
+				lo, hi := ps.column(packXY(k.X, k.Y))
+				cp.xs = append(cp.xs, ps.xs[lo:hi]...)
+				cp.ys = append(cp.ys, ps.ys[lo:hi]...)
+				cp.zs = append(cp.zs, ps.zs[lo:hi]...)
+			}
+		}
 		for _, sub := range splitCluster(cp) {
 			best, ok := d.bestCandidate(sub, groundZ)
 			if !ok {
@@ -272,8 +308,7 @@ func (d *Detector) DetectWithStatsScratch(cloud *pointcloud.Cloud, s *DetectorSc
 	}
 	s.dets = dets[:0]
 	st.FitTime = time.Since(t0)
-	st.Total = time.Since(start)
-	return out, st
+	return out
 }
 
 // scored is one fitted proposal awaiting the score cut and NMS.

@@ -49,6 +49,19 @@ type DetectorScratch struct {
 	ptBuf []int32
 	pool  []scored
 	dets  []Detection
+
+	// Feature-level fusion (DetectWithFeaturesScratch): staged merge
+	// entries, the fused tensor's storage and the remote pseudo-point CSR.
+	fuseEntries []fuseEntry
+	fuseCols    []colKey
+	fuseOff     []int32
+	fuseZs      []int32
+	fuseFeats   []float64
+	psCols      []colKey
+	psOff       []int32
+	psXs        []float64
+	psYs        []float64
+	psZs        []float64
 }
 
 // NewScratch returns an empty scratch; buffers are allocated lazily as
