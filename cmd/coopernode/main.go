@@ -60,11 +60,17 @@ func run() error {
 	frames := flag.Int("frames", 1, "selftest: stream this many frames of the moving world through the hub")
 	hz := flag.Float64("hz", 2, "selftest streaming frame rate")
 	backendName := flag.String("backend", "raw", "fusion backend for -selftest and -join: raw (point clouds) or feature (F-Cooper sparse planes)")
+	wire := flag.String("wire", "v2", "publish wire for -selftest and -join: v2 (self-contained quantized frames) or v3 (CPD1 delta stream)")
 	flag.Parse()
 
 	backend, err := fusion.ParseBackend(*backendName)
 	if err != nil {
 		return err
+	}
+	switch *wire {
+	case "v2", "v3":
+	default:
+		return fmt.Errorf("unknown wire %q (want v2 or v3)", *wire)
 	}
 
 	switch {
@@ -84,6 +90,7 @@ func run() error {
 			Frames:        *frames,
 			Hz:            *hz,
 			Backend:       backend,
+			Wire:          *wire,
 		})
 	case *hubAddr != "":
 		return runHub(*hubAddr)
@@ -96,7 +103,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		return joinHub(v, sc, *join, *k, *bw, backend)
+		return joinHub(v, sc, *join, *k, *bw, backend, *wire)
 	case *serve != "":
 		sc, err := resolve(*scenarioName, *fleet, *seed, *traffic)
 		if err != nil {
@@ -174,7 +181,11 @@ func runHub(addr string) error {
 // joinHub runs one vehicle's hub session: publish the sensed frame
 // through the chosen fusion backend, then request a fusion round and
 // detect on the fused input.
-func joinHub(v *core.Vehicle, sc *scene.Scenario, addr string, k int, bwMbps float64, backend fusion.Backend) error {
+func joinHub(v *core.Vehicle, sc *scene.Scenario, addr string, k int, bwMbps float64, backend fusion.Backend, wire string) error {
+	feature := backend.Name() == "feature"
+	if wire == "v3" && feature {
+		return fmt.Errorf("-wire v3 delta-codes point-cloud frames; the feature backend publishes CPF3")
+	}
 	cl, peers, err := hub.Connect(addr, v.ID, v.State())
 	if err != nil {
 		return err
@@ -182,25 +193,39 @@ func joinHub(v *core.Vehicle, sc *scene.Scenario, addr string, k int, bwMbps flo
 	defer cl.Close()
 	fmt.Printf("%s joined hub at %s (%d vehicle(s) already cached)\n", v.ID, addr, peers)
 
-	feature := backend.Name() == "feature"
 	sensorFrame, err := v.SensorFrame(nil)
 	if err != nil {
 		return err
 	}
-	p, err := backend.Encode(sensorFrame, nil)
+	var cached, sent int
+	switch {
+	case wire == "v3":
+		// The node's first publish opens a CPD1 stream (a keyframe); a
+		// long-lived node would keep the session and delta-code follow-ups.
+		cached, sent, err = cl.PublishDelta(v.State(), sensorFrame.Cloud)
+	case feature:
+		var p fusion.Payload
+		p, err = backend.Encode(sensorFrame, nil)
+		if err == nil {
+			sent = len(p.Data)
+			cached, err = cl.PublishFeatures(v.State(), p.Data)
+		}
+	default:
+		var p fusion.Payload
+		p, err = backend.Encode(sensorFrame, nil)
+		if err == nil {
+			sent = len(p.Data)
+			cached, err = cl.Publish(v.State(), p.Data)
+		}
+	}
 	if err != nil {
 		return err
 	}
-	var cached int
-	if feature {
-		cached, err = cl.PublishFeatures(v.State(), p.Data)
-	} else {
-		cached, err = cl.Publish(v.State(), p.Data)
+	label := backend.Name()
+	if wire == "v3" {
+		label += " (v3 delta stream)"
 	}
-	if err != nil {
-		return err
-	}
-	fmt.Printf("published %d KB %s frame; hub now caches %d vehicle(s)\n", len(p.Data)/1024, backend.Name(), cached)
+	fmt.Printf("published %d KB %s frame; hub now caches %d vehicle(s)\n", sent/1024, label, cached)
 
 	var frames []hub.RoundFrame
 	if feature {

@@ -75,6 +75,7 @@ func run() error {
 	compensate := flag.Bool("compensate", true, "motion-compensate stale sender clouds in episodes")
 	backendName := flag.String("backend", "raw", "fusion backend: raw (point clouds) or feature (F-Cooper sparse planes)")
 	budget := flag.Int("budget", 0, "per-sender payload cap in bytes, fitted via the backend's ROI ladder (0 = uncapped)")
+	wire := flag.String("wire", "v2", "episode broadcast wire: v2 (self-contained quantized frames) or v3 (CPD1 delta stream; needs -compensate=false)")
 	flag.Parse()
 
 	if *list {
@@ -117,7 +118,10 @@ func run() error {
 		if *drift != "" || *icp {
 			return fmt.Errorf("episodes (-frames > 1) do not support -drift or -icp yet")
 		}
-		return runEpisode(target, *frames, *hz, *delay, *compensate, *workers, backend)
+		return runEpisode(target, *frames, *hz, *delay, *compensate, *workers, backend, *wire)
+	}
+	if *wire != "" && *wire != "v2" {
+		return fmt.Errorf("-wire %s applies to episodes; add -frames N", *wire)
 	}
 
 	runner := core.NewScenarioRunner(target).SetWorkers(*workers)
@@ -150,9 +154,10 @@ func run() error {
 }
 
 // runEpisode plays and prints a dynamic multi-frame episode.
-func runEpisode(target *scene.Scenario, frames int, hz float64, delay time.Duration, compensate bool, workers int, backend fusion.Backend) error {
+func runEpisode(target *scene.Scenario, frames int, hz float64, delay time.Duration, compensate bool, workers int, backend fusion.Backend, wire string) error {
 	res, err := core.RunEpisode(target, core.EpisodeOptions{
 		Frames: frames, Hz: hz, Delay: delay, Compensate: compensate, Workers: workers, Backend: backend,
+		Wire: wire,
 	})
 	if err != nil {
 		return err
@@ -162,9 +167,15 @@ func runEpisode(target *scene.Scenario, frames int, hz float64, delay time.Durat
 	if !compensate {
 		comp = "off"
 	}
-	fmt.Printf("episode %s (%s, %d-beam LiDAR, %d poses, %d cars, %d moving): %d frames @ %g Hz, delay %v, compensation %s, backend %s\n",
+	// The v2 header is pinned by downstream transcript diffs; v3 announces
+	// itself with one extra clause.
+	wireNote := ""
+	if wire == "v3" {
+		wireNote = ", wire v3"
+	}
+	fmt.Printf("episode %s (%s, %d-beam LiDAR, %d poses, %d cars, %d moving): %d frames @ %g Hz, delay %v, compensation %s, backend %s%s\n",
 		target.Name, target.Dataset, target.LiDAR.BeamCount(), len(target.Poses),
-		len(target.Scene.Cars()), target.MovingObjects(), frames, hz, delay, comp, backend.Name())
+		len(target.Scene.Cars()), target.MovingObjects(), frames, hz, delay, comp, backend.Name(), wireNote)
 	c := res.Case
 	fmt.Printf("case %s: receiver %s fuses up to %d sender cloud(s) per round; rounds age by DSRC transmission + delay\n",
 		c.Name, target.PoseLabels[c.Receiver()], len(c.Senders()))

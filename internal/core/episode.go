@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
 	"sync"
 	"time"
@@ -40,6 +41,19 @@ type EpisodeOptions struct {
 	// Backend selects the fusion strategy senders broadcast with; nil
 	// means raw-cloud fusion.
 	Backend fusion.Backend
+	// Wire selects the broadcast wire path. "v2" (default) broadcasts
+	// every frame as a self-contained quantized encode; "v3" delta-codes
+	// each sender's frame stream (CPD1 keyframes plus deltas), shrinking
+	// the scheduled payloads — and therefore the delivery timeline — while
+	// the fused bytes stay identical: every delta reconstruction is
+	// verified byte-for-byte against the canonical encode before fusion.
+	// v3 requires the raw backend and an uncompensated episode
+	// (compensation re-encodes per receiving frame, so there is no single
+	// broadcast stream to delta-code).
+	Wire string
+	// KeyframeInterval is the v3 keyframe cadence per sender stream
+	// (0 = pointcloud.DefaultKeyframeInterval).
+	KeyframeInterval int
 }
 
 // backend resolves the episode's fusion backend.
@@ -280,6 +294,23 @@ func (l *EpisodeLab) Run(opts EpisodeOptions) (*EpisodeResult, error) {
 	period := time.Duration(float64(time.Second) / opts.Hz)
 	at := func(k int) time.Duration { return time.Duration(k) * period }
 
+	backend := opts.backend()
+	_, rawBackend := backend.(fusion.RawBackend)
+	wireV3 := false
+	switch opts.Wire {
+	case "", "v2":
+	case "v3":
+		if !rawBackend {
+			return nil, fmt.Errorf("core: wire v3 delta-codes raw point-cloud broadcasts; backend %q is not raw", backend.Name())
+		}
+		if opts.Compensate {
+			return nil, fmt.Errorf("core: wire v3 needs an uncompensated episode: compensation re-encodes per receiving frame, so there is no broadcast stream to delta-code")
+		}
+		wireV3 = true
+	default:
+		return nil, fmt.Errorf("core: unknown wire %q (want v2 or v3)", opts.Wire)
+	}
+
 	// Phase 1 — captures: every participant senses at every frame time,
 	// in parallel. Each capture owns its seeded noise stream.
 	participants := append([]int{receiver}, senders...)
@@ -302,9 +333,8 @@ func (l *EpisodeLab) Run(opts EpisodeOptions) (*EpisodeResult, error) {
 	// Phase 1.5 — non-raw backends pre-encode every sender capture's
 	// broadcast in parallel: the channel plan below needs the sizes, and
 	// the frame fan-out reuses the cached bytes.
-	backend := opts.backend()
 	det := spod.New(l.detectorConfig())
-	if _, raw := backend.(fusion.RawBackend); !raw {
+	if !rawBackend {
 		var encJobs []capJob
 		for k := 0; k < opts.Frames; k++ {
 			for _, s := range senders {
@@ -316,6 +346,50 @@ func (l *EpisodeLab) Run(opts EpisodeOptions) (*EpisodeResult, error) {
 			e := l.capture(encJobs[i].pose, encJobs[i].t)
 			_, err := l.payloadFor(e, backend, det, l.stateAt(e.pose), encScratches[w])
 			return struct{}{}, err
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	// Phase 1.6 — wire v3: each sender's captures delta-code as one CPD1
+	// stream in timeline order, keyframes at the interval and deltas
+	// between. Streams are independent per sender, so senders fan out in
+	// parallel; within a stream the encoder state makes frame order
+	// load-bearing, so the inner loop is sequential. Every frame is
+	// decoded back and re-encoded to prove the reconstruction is
+	// byte-identical to the canonical capture encode the fusion phase
+	// consumes: v3 changes payload sizes (and therefore the delivery
+	// timeline), never the fused bytes.
+	var v3sizes [][]int // [frame][sender slot] broadcast bytes
+	if wireV3 {
+		v3sizes = make([][]int, opts.Frames)
+		for k := range v3sizes {
+			v3sizes[k] = make([]int, len(senders))
+		}
+		if err := parallel.ForErr(opts.Workers, len(senders), func(si int) error {
+			enc := pointcloud.DeltaEncoder{Interval: opts.KeyframeInterval}
+			var dec pointcloud.DeltaDecoder
+			recon := pointcloud.GetCloud()
+			defer pointcloud.PutCloud(recon)
+			for k := 0; k < opts.Frames; k++ {
+				e := l.capture(senders[si], at(k))
+				data, _, err := enc.Encode(l.cropFOV(e.scan.Cloud), uint64(k+1))
+				if err != nil {
+					return fmt.Errorf("core: delta-encoding pose %d frame %d: %w", senders[si], k, err)
+				}
+				if err := dec.DecodeInto(data, recon); err != nil {
+					return fmt.Errorf("core: reconstructing pose %d frame %d: %w", senders[si], k, err)
+				}
+				canonical, err := pointcloud.EncodeQuantized(recon)
+				if err != nil {
+					return fmt.Errorf("core: re-encoding pose %d frame %d: %w", senders[si], k, err)
+				}
+				if !bytes.Equal(canonical, e.payload) {
+					return fmt.Errorf("core: pose %d frame %d: delta reconstruction diverged from the canonical encode", senders[si], k)
+				}
+				v3sizes[k][si] = len(data)
+			}
+			return nil
 		}); err != nil {
 			return nil, err
 		}
@@ -334,6 +408,10 @@ func (l *EpisodeLab) Run(opts EpisodeOptions) (*EpisodeResult, error) {
 	for j := 0; j < opts.Frames; j++ {
 		sizes := make([]int, len(senders))
 		for si, s := range senders {
+			if wireV3 {
+				sizes[si] = v3sizes[j][si]
+				continue
+			}
 			e := l.capture(s, at(j))
 			payload, err := l.payloadFor(e, backend, det, l.stateAt(e.pose), nil)
 			if err != nil {
@@ -399,7 +477,7 @@ func (l *EpisodeLab) Run(opts EpisodeOptions) (*EpisodeResult, error) {
 			fe.frame.Senders = len(senders)
 			payloads := make([]fusion.Payload, 0, len(senders))
 			deltaD := 0.0
-			for _, s := range senders {
+			for si, s := range senders {
 				cap := l.capture(s, tj)
 				// Compensation warps the cloud to this frame's consumption
 				// time, so it must re-encode; the uncompensated broadcast
@@ -418,7 +496,13 @@ func (l *EpisodeLab) Run(opts EpisodeOptions) (*EpisodeResult, error) {
 					}
 					payload = p.Data
 				}
-				fe.frame.PayloadBytes += len(payload)
+				if wireV3 {
+					// The wire carried the delta stream; fusion consumes the
+					// canonical reconstruction (verified byte-identical above).
+					fe.frame.PayloadBytes += v3sizes[j][si]
+				} else {
+					fe.frame.PayloadBytes += len(payload)
+				}
 				payloads = append(payloads, fusion.Payload{State: l.stateAt(cap.pose), Data: payload})
 				if d := cap.pose.T.DistXY(own.pose.T); d > deltaD {
 					deltaD = d

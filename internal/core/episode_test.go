@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"cooper/internal/fusion"
 	"cooper/internal/geom"
 	"cooper/internal/lidar"
 	"cooper/internal/pointcloud"
@@ -170,6 +171,151 @@ func TestEpisodeWarmup(t *testing.T) {
 	}
 	if res.Frames[1].SenderFrame != 0 || res.Frames[1].Senders != 1 {
 		t.Errorf("frame 1 should fuse round 0, got %+v", res.Frames[1])
+	}
+}
+
+// TestEpisodeWireV3 runs the same episode over both wire paths. v3 may
+// only change what travels — delta payload sizes and therefore the
+// delivery timeline — never what is fused: every per-frame score and the
+// temporal metrics must match v2 exactly, while the broadcast bytes
+// shrink. The lab is shared across all runs, so every run fuses the very
+// same captures.
+func TestEpisodeWireV3(t *testing.T) {
+	sc, err := scene.Generate(scene.GenParams{Family: scene.FamilyPlatoon, Fleet: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab := NewEpisodeLab(sc)
+	run := func(opts EpisodeOptions) *EpisodeResult {
+		t.Helper()
+		res, err := lab.Run(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	// At 5 Hz the two wires' rounds clear the channel within the same
+	// frame slots, so the fusion timelines coincide and every score must
+	// match exactly.
+	base := EpisodeOptions{Frames: 6, Hz: 5, Delay: 100 * time.Millisecond, Workers: 1}
+	v2 := run(base)
+	v3opts := base
+	v3opts.Wire = "v3"
+	v3 := run(v3opts)
+
+	v2bytes, v3bytes := 0, 0
+	var v2lat, v3lat time.Duration
+	for k := range v2.Frames {
+		a, b := v2.Frames[k], v3.Frames[k]
+		if a.SenderFrame != b.SenderFrame || a.Staleness != b.Staleness || a.Senders != b.Senders {
+			t.Fatalf("frame %d: v3 shifted the fusion timeline: v2 %+v, v3 %+v", k, a, b)
+		}
+		if a.Single != b.Single || a.Coop != b.Coop {
+			t.Errorf("frame %d: v3 changed detections: v2 single %+v coop %+v, v3 single %+v coop %+v",
+				k, a.Single, a.Coop, b.Single, b.Coop)
+		}
+		v2bytes += a.PayloadBytes
+		v3bytes += b.PayloadBytes
+		v2lat += a.RoundLatency
+		v3lat += b.RoundLatency
+	}
+	if v2.Temporal != v3.Temporal || v2.Tracks != v3.Tracks {
+		t.Errorf("v3 changed temporal metrics: v2 %+v tracks=%d, v3 %+v tracks=%d",
+			v2.Temporal, v2.Tracks, v3.Temporal, v3.Tracks)
+	}
+	// Keyframe rounds cost a few header bytes over plain quantized frames;
+	// the delta rounds' savings must dominate in aggregate.
+	if v3bytes >= v2bytes {
+		t.Errorf("v3 broadcast %d B, not below v2's %d B", v3bytes, v2bytes)
+	}
+	if v3lat >= v2lat {
+		t.Errorf("v3 cumulative round latency %v, not below v2's %v", v3lat, v2lat)
+	}
+	t.Logf("episode broadcast: v2 %d B, v3 %d B (%.1f%%)", v2bytes, v3bytes, 100*float64(v3bytes)/float64(v2bytes))
+
+	// Worker fan-out must not perturb the v3 stream (per-sender encoder
+	// state is sequential within a stream, parallel across streams).
+	parOpts := v3opts
+	parOpts.Workers = 4
+	par := run(parOpts)
+	for k := range v3.Frames {
+		if v3.Frames[k] != par.Frames[k] {
+			t.Errorf("frame %d differs across worker counts:\nworkers=1: %+v\nworkers=4: %+v", k, v3.Frames[k], par.Frames[k])
+		}
+	}
+	if v3.Temporal != par.Temporal {
+		t.Errorf("v3 temporal metrics differ across worker counts")
+	}
+
+	// Interval 1 forces every frame to a keyframe: still byte-identical
+	// fusion, but the stream savings vanish.
+	kfOpts := v3opts
+	kfOpts.KeyframeInterval = 1
+	kf := run(kfOpts)
+	kfBytes := 0
+	for k := range kf.Frames {
+		if kf.Frames[k].Coop != v3.Frames[k].Coop {
+			t.Errorf("frame %d: keyframe-only stream changed detections", k)
+		}
+		kfBytes += kf.Frames[k].PayloadBytes
+	}
+	if kfBytes <= v3bytes {
+		t.Errorf("keyframe-only stream %d B should cost more than the delta stream %d B", kfBytes, v3bytes)
+	}
+}
+
+// TestEpisodeWireV3FresherRounds runs the wires at a frame rate where the
+// full-frame rounds outlast the frame period. The delta stream's smaller
+// payloads clear the channel sooner, so v3 fuses rounds at least as fresh
+// as v2 — and strictly fresher somewhere — while shrinking the broadcast
+// substantially. This is the latency dividend of the delta wire, the
+// regime where the timelines legitimately diverge.
+func TestEpisodeWireV3FresherRounds(t *testing.T) {
+	sc, err := scene.Generate(scene.GenParams{Family: scene.FamilyPlatoon, Fleet: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab := NewEpisodeLab(sc)
+	base := EpisodeOptions{Frames: 6, Hz: 20, Delay: 100 * time.Millisecond, Workers: 4}
+	v2, err := lab.Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Wire = "v3"
+	v3, err := lab.Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresher := false
+	for k := range v2.Frames {
+		a, b := v2.Frames[k], v3.Frames[k]
+		if b.SenderFrame < a.SenderFrame {
+			t.Errorf("frame %d: v3 fused round %d, staler than v2's %d", k, b.SenderFrame, a.SenderFrame)
+		}
+		if b.SenderFrame > a.SenderFrame {
+			fresher = true
+		}
+	}
+	if !fresher {
+		t.Error("at 20 Hz the delta stream should deliver at least one round a frame earlier than v2")
+	}
+}
+
+// TestEpisodeWireValidation pins the v3 option conflicts: compensation,
+// non-raw backends and unknown wire names are rejected up front.
+func TestEpisodeWireValidation(t *testing.T) {
+	sc, err := scene.Generate(scene.GenParams{Family: scene.FamilyPlatoon, Fleet: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunEpisode(sc, EpisodeOptions{Frames: 1, Wire: "v9"}); err == nil {
+		t.Error("unknown wire accepted")
+	}
+	if _, err := RunEpisode(sc, EpisodeOptions{Frames: 1, Wire: "v3", Compensate: true}); err == nil {
+		t.Error("v3 with compensation accepted")
+	}
+	if _, err := RunEpisode(sc, EpisodeOptions{Frames: 1, Wire: "v3", Backend: fusion.DefaultFeatureBackend()}); err == nil {
+		t.Error("v3 with the feature backend accepted")
 	}
 }
 

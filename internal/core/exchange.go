@@ -76,11 +76,14 @@ func (v *Vehicle) ReceivePackage(pkg ExchangePackage) (*pointcloud.Cloud, error)
 	if len(pkg.Payload) == 0 {
 		return nil, fmt.Errorf("from %s: %w", pkg.SenderID, ErrEmptyPayload)
 	}
-	cloud, err := pointcloud.Decode(pkg.Payload)
-	if err != nil {
+	// Zero-copy decode: alignment rewrites every point into the
+	// receiver's frame, so the decode buffer is transient and pools.
+	tmp := pointcloud.GetCloud()
+	defer pointcloud.PutCloud(tmp)
+	if err := pointcloud.DecodeInto(pkg.Payload, tmp); err != nil {
 		return nil, fmt.Errorf("from %s: decoding payload: %w", pkg.SenderID, err)
 	}
-	return fusion.Align(v.state, pkg.State, cloud), nil
+	return fusion.Align(v.state, pkg.State, tmp), nil
 }
 
 // CooperativeCloud merges the vehicle's own scan with the aligned clouds

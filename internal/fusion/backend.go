@@ -159,11 +159,17 @@ func (b RawBackend) Fuse(receiver SensorFrame, payloads []Payload) (*FusedInput,
 			in.Remotes = append(in.Remotes, r)
 			continue
 		}
-		cloud, err := pointcloud.Decode(p.Data)
-		if err != nil {
+		// Decode into a pooled cloud: alignment copies the points into
+		// the receiver frame anyway, so the decode buffer lives only to
+		// the Align call and the steady-state fuse loop stops paying a
+		// per-payload make([]Point, n).
+		tmp := pointcloud.GetCloud()
+		if err := pointcloud.DecodeInto(p.Data, tmp); err != nil {
+			pointcloud.PutCloud(tmp)
 			return nil, fmt.Errorf("fusion: raw payload from %s: %w", senderName(p), err)
 		}
-		al := Align(receiver.State, p.State, cloud)
+		al := Align(receiver.State, p.State, tmp)
+		pointcloud.PutCloud(tmp)
 		if b.UseICP {
 			corr := RefineAlignment(receiver.Cloud, al, DefaultICPConfig())
 			al = al.Transform(corr)

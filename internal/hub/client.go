@@ -2,9 +2,11 @@ package hub
 
 import (
 	"fmt"
+	"strings"
 
 	"cooper/internal/fusion"
 	"cooper/internal/network"
+	"cooper/internal/pointcloud"
 )
 
 // Client is a vehicle's session with a fleet hub: a thin, synchronous
@@ -14,6 +16,7 @@ type Client struct {
 	conn *network.Transport
 	id   string
 	seq  uint64
+	denc pointcloud.DeltaEncoder
 }
 
 // Connect dials the hub and opens a session for the named vehicle,
@@ -56,6 +59,58 @@ func (c *Client) Publish(state fusion.VehicleState, payload []byte) (cached int,
 		return 0, err
 	}
 	ack, err := c.receive(network.MsgFrame)
+	if err != nil {
+		return 0, err
+	}
+	return int(ack.Count), nil
+}
+
+// SetKeyframeInterval tunes the client's CPD1 publish stream: at most n
+// frames per keyframe (0 restores pointcloud.DefaultKeyframeInterval,
+// 1 makes every publish a keyframe).
+func (c *Client) SetKeyframeInterval(n int) { c.denc.Interval = n }
+
+// PublishDelta publishes one frame on the client's CPD1 delta stream —
+// the protocol-v3 alternative to Publish. The cloud is encoded as a
+// keyframe or a delta against the client's last keyframe (see
+// pointcloud.DeltaEncoder); the hub reconstructs the full frame before
+// caching, so fusion rounds are unaffected by how the frame travelled.
+// If the hub reports missing or stale keyframe state (a hub restart, a
+// lost publish), the client transparently re-sends the frame as a fresh
+// keyframe. wireBytes reports the payload size that actually went on the
+// wire — the v3 bandwidth win over EncodedSizeQuantized.
+func (c *Client) PublishDelta(state fusion.VehicleState, cloud *pointcloud.Cloud) (cached, wireBytes int, err error) {
+	c.seq++
+	payload, _, err := c.denc.Encode(cloud, c.seq)
+	if err != nil {
+		return 0, 0, err
+	}
+	cached, err = c.sendDeltaFrame(state, payload)
+	if err != nil && strings.Contains(err.Error(), "keyframe") {
+		// The hub could not apply the delta; recover with a keyframe.
+		c.denc.ForceKeyframe()
+		if payload, _, err = c.denc.Encode(cloud, c.seq); err != nil {
+			return 0, 0, err
+		}
+		cached, err = c.sendDeltaFrame(state, payload)
+	}
+	if err != nil {
+		return 0, 0, err
+	}
+	return cached, len(payload), nil
+}
+
+func (c *Client) sendDeltaFrame(state fusion.VehicleState, payload []byte) (cached int, err error) {
+	if err := c.conn.Send(network.Message{
+		Type:    network.MsgDeltaFrame,
+		Sender:  c.id,
+		State:   state,
+		Payload: payload,
+		Seq:     c.seq,
+	}); err != nil {
+		return 0, err
+	}
+	ack, err := c.receive(network.MsgDeltaFrame)
 	if err != nil {
 		return 0, err
 	}

@@ -103,6 +103,16 @@ func (f *cachedFrame) featureWire() []byte {
 	return f.featPayload
 }
 
+// deltaState is one publisher's CPD1 decoder — the per-vehicle keyframe
+// state behind the cachedFrame cache. It lives outside cachedFrame
+// because cached frames are replaced wholesale on every publish while
+// keyframe state persists across the stream; its own lock serialises the
+// (stateful) delta application per sender without holding the cache lock.
+type deltaState struct {
+	mu  sync.Mutex
+	dec pointcloud.DeltaDecoder
+}
+
 // Hub is the fleet server. All methods are safe for concurrent use; the
 // session loops in session.go are thin wrappers over Publish and
 // AssembleRound, so in-process callers (tests, benchmarks, the selftest
@@ -112,6 +122,9 @@ type Hub struct {
 
 	mu     sync.RWMutex
 	frames map[string]*cachedFrame
+
+	deltaMu sync.Mutex
+	deltas  map[string]*deltaState
 
 	sessMu   sync.Mutex
 	sessions map[*network.Transport]struct{}
@@ -129,7 +142,12 @@ func New(cfg Config) *Hub {
 	if cfg.MaxSenders <= 0 {
 		cfg.MaxSenders = DefaultMaxSenders
 	}
-	return &Hub{cfg: cfg, frames: make(map[string]*cachedFrame), sessions: make(map[*network.Transport]struct{})}
+	return &Hub{
+		cfg:      cfg,
+		frames:   make(map[string]*cachedFrame),
+		deltas:   make(map[string]*deltaState),
+		sessions: make(map[*network.Transport]struct{}),
+	}
 }
 
 func (h *Hub) logf(format string, args ...any) {
@@ -140,21 +158,33 @@ func (h *Hub) logf(format string, args ...any) {
 
 // Publish stores a vehicle's frame as its latest, replacing any cached
 // frame with a lower or equal sequence number. The payload must decode —
-// as a point cloud, or, when it carries the CPF3 magic, as a feature
-// frame — so the request path can rely on every cached frame being
-// fusable. Returns the number of vehicles cached after the publish.
+// as a point cloud, as a CPF3 feature frame, or as a CPD1 delta-stream
+// frame against the sender's keyframe state — so the request path can
+// rely on every cached frame being fusable. A CPD1 publish is
+// reconstructed and re-encoded to the canonical CPQ1 form before caching:
+// fusion rounds always serve self-contained full frames, byte-identical
+// to what a v2 publish of the same cloud would have cached. Returns the
+// number of vehicles cached after the publish.
 func (h *Hub) Publish(sender string, state fusion.VehicleState, payload []byte, seq uint64) (int, error) {
 	if sender == "" {
 		return 0, fmt.Errorf("hub: publish with empty sender")
 	}
 	frame := &cachedFrame{state: state, payload: payload, seq: seq}
-	if spod.IsFeaturePayload(payload) {
+	switch {
+	case spod.IsFeaturePayload(payload):
 		feat, err := spod.DecodeFeatureFrame(payload)
 		if err != nil {
 			return 0, fmt.Errorf("hub: feature frame from %s: %w", sender, err)
 		}
 		frame.feat = feat
-	} else {
+	case pointcloud.IsDeltaFrame(payload):
+		cloud, canonical, err := h.applyDelta(sender, payload)
+		if err != nil {
+			return 0, fmt.Errorf("hub: delta frame from %s: %w", sender, err)
+		}
+		frame.cloud = cloud
+		frame.payload = canonical
+	default:
 		cloud, err := pointcloud.Decode(payload)
 		if err != nil {
 			return 0, fmt.Errorf("hub: frame from %s: %w", sender, err)
@@ -168,6 +198,36 @@ func (h *Hub) Publish(sender string, state fusion.VehicleState, payload []byte, 
 	}
 	h.frames[sender] = frame
 	return len(h.frames), nil
+}
+
+// applyDelta runs one CPD1 frame through the sender's delta decoder and
+// returns the reconstructed cloud plus its canonical CPQ1 re-encoding.
+// Decoder state advances only on success; a missing or stale keyframe
+// surfaces as an error the session answers in-band, prompting the
+// publisher to re-send a keyframe.
+func (h *Hub) applyDelta(sender string, payload []byte) (*pointcloud.Cloud, []byte, error) {
+	h.deltaMu.Lock()
+	ds, ok := h.deltas[sender]
+	if !ok {
+		ds = &deltaState{}
+		h.deltas[sender] = ds
+	}
+	h.deltaMu.Unlock()
+
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	cloud := &pointcloud.Cloud{}
+	if err := ds.dec.DecodeInto(payload, cloud); err != nil {
+		return nil, nil, err
+	}
+	// Quantized encoding is idempotent, so re-encoding the reconstruction
+	// reproduces exactly the bytes the publisher's full frame would have
+	// carried.
+	canonical, err := pointcloud.EncodeQuantized(cloud)
+	if err != nil {
+		return nil, nil, err
+	}
+	return cloud, canonical, nil
 }
 
 // Cached returns the number of vehicles with a cached frame.

@@ -11,6 +11,7 @@ import (
 	"cooper/internal/fusion"
 	"cooper/internal/network"
 	"cooper/internal/parallel"
+	"cooper/internal/pointcloud"
 	"cooper/internal/roi"
 	"cooper/internal/scene"
 	"cooper/internal/spod"
@@ -48,6 +49,11 @@ type SelfTestOptions struct {
 	// = raw clouds). The feature backend publishes CPF3 frames and
 	// requests feature-level rounds.
 	Backend fusion.Backend
+	// Wire selects the publish path: "v2" (default) sends full quantized
+	// frames, "v3" streams CPD1 delta frames the hub reconstructs before
+	// serving. The report body is byte-identical either way — v3 only
+	// appends a line accounting the wire bytes saved. Raw backend only.
+	Wire string
 }
 
 // selfReport is one client's deterministic round outcome.
@@ -96,6 +102,17 @@ func SelfTest(w io.Writer, opts SelfTestOptions) error {
 		backend = fusion.RawBackend{}
 	}
 	feature := backend.Name() == "feature"
+	wireV3 := false
+	switch opts.Wire {
+	case "", "v2":
+	case "v3":
+		if feature {
+			return fmt.Errorf("hub: -wire v3 delta-codes point-cloud frames; the feature backend publishes CPF3")
+		}
+		wireV3 = true
+	default:
+		return fmt.Errorf("hub: unknown wire %q (want v2 or v3)", opts.Wire)
+	}
 	sc, err := scene.Generate(scene.GenParams{Family: fam, Fleet: opts.Fleet, Seed: opts.Seed, Traffic: opts.Traffic})
 	if err != nil {
 		return err
@@ -148,6 +165,12 @@ func SelfTest(w io.Writer, opts SelfTestOptions) error {
 	// the buffers warm up.
 	scratches := spod.NewScratches(parallel.WorkerCount(opts.Workers, opts.Fleet))
 
+	// v3 wire accounting, per client so the parallel publish phase stays
+	// race-free and deterministic: bytes actually sent on the delta
+	// stream versus what full quantized publishes would have cost.
+	wireSent := make([]int, opts.Fleet)
+	wireFull := make([]int, opts.Fleet)
+
 	allReports := make([][]selfReport, frames)
 	for f := 0; f < frames; f++ {
 		var at time.Duration
@@ -166,6 +189,15 @@ func SelfTest(w io.Writer, opts SelfTestOptions) error {
 			frame, err := v.SensorFrame(nil)
 			if err != nil {
 				return nil, err
+			}
+			if wireV3 {
+				_, sent, err := clients[i].PublishDelta(v.State(), frame.Cloud)
+				if err != nil {
+					return nil, err
+				}
+				wireSent[i] += sent
+				wireFull[i] += pointcloud.EncodedSizeQuantized(frame.Cloud.Len())
+				return v, nil
 			}
 			p, err := backend.Encode(frame, nil)
 			if err != nil {
@@ -273,9 +305,22 @@ func SelfTest(w io.Writer, opts SelfTestOptions) error {
 
 	if frames == 1 {
 		printSelfTest(w, sc, opts, k, budgetBps, allReports[0])
-		return nil
+	} else {
+		printStreaming(w, sc, opts, frames, k, budgetBps, allReports, assocs)
 	}
-	printStreaming(w, sc, opts, frames, k, budgetBps, allReports, assocs)
+	if wireV3 {
+		var sent, full int
+		for i := range wireSent {
+			sent += wireSent[i]
+			full += wireFull[i]
+		}
+		ratio := 1.0
+		if full > 0 {
+			ratio = float64(sent) / float64(full)
+		}
+		fmt.Fprintf(w, "\nwire v3: published %d B on the delta stream vs %d B full quantized (%.2f×)\n",
+			sent, full, ratio)
+	}
 	return nil
 }
 

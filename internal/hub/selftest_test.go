@@ -2,8 +2,11 @@ package hub
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
+
+	"cooper/internal/fusion"
 )
 
 // TestSelfTestDeterministic is the acceptance property behind
@@ -56,6 +59,54 @@ func TestSelfTestStreaming(t *testing.T) {
 		if !strings.Contains(seq, want) {
 			t.Errorf("streaming report missing %q:\n%s", want, seq)
 		}
+	}
+}
+
+// TestSelfTestWireV3 runs the same selftest over both wire paths. The v3
+// report must be the v2 report plus the trailing wire-accounting line —
+// the delta stream is a transport detail and may not perturb a single
+// detection — and the delta stream must actually be cheaper.
+func TestSelfTestWireV3(t *testing.T) {
+	run := func(wire string, workers int) string {
+		var buf bytes.Buffer
+		err := SelfTest(&buf, SelfTestOptions{Fleet: 3, Seed: 5, Workers: workers, Frames: 4, Hz: 2, Wire: wire})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	v2 := run("v2", 1)
+	v3 := run("v3", 1)
+	if !strings.HasPrefix(v3, v2) {
+		t.Fatalf("v3 report does not extend the v2 report:\n--- v2\n%s\n--- v3\n%s", v2, v3)
+	}
+	extra := strings.TrimPrefix(v3, v2)
+	if !strings.Contains(extra, "wire v3: published") {
+		t.Fatalf("v3 report missing wire accounting, extra = %q", extra)
+	}
+	// The accounting line reports sent vs full; parse and compare.
+	var sent, full int
+	var ratio float64
+	if _, err := fmt.Sscanf(extra, "\nwire v3: published %d B on the delta stream vs %d B full quantized (%f×)", &sent, &full, &ratio); err != nil {
+		t.Fatalf("cannot parse wire accounting %q: %v", extra, err)
+	}
+	if sent >= full {
+		t.Errorf("delta stream cost %d B, not below the %d B full-frame cost", sent, full)
+	}
+	// Determinism across worker counts holds on the v3 path too.
+	if par := run("v3", 4); par != v3 {
+		t.Errorf("v3 selftest differs across worker counts:\n--- workers=1\n%s\n--- workers=4\n%s", v3, par)
+	}
+}
+
+// TestSelfTestWireValidation: unknown wire names and the v3+feature
+// combination are rejected up front.
+func TestSelfTestWireValidation(t *testing.T) {
+	if err := SelfTest(nil, SelfTestOptions{Fleet: 2, Seed: 1, Wire: "v9"}); err == nil {
+		t.Error("unknown wire accepted")
+	}
+	if err := SelfTest(nil, SelfTestOptions{Fleet: 2, Seed: 1, Wire: "v3", Backend: fusion.FeatureBackend{}}); err == nil {
+		t.Error("v3 wire with feature backend accepted")
 	}
 }
 

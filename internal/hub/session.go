@@ -138,7 +138,7 @@ func (h *Hub) handle(conn *network.Transport, msg network.Message) error {
 			Count:  uint32(h.Cached()),
 		})
 
-	case network.MsgFrame, network.MsgFeatureFrame:
+	case network.MsgFrame, network.MsgFeatureFrame, network.MsgDeltaFrame:
 		cached, err := h.Publish(msg.Sender, msg.State, msg.Payload, msg.Seq)
 		if err != nil {
 			return h.sendError(conn, err)

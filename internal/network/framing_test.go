@@ -183,6 +183,28 @@ func TestMessageV2RoundTrip(t *testing.T) {
 		t.Errorf("round trip: got %+v, want %+v", got, m)
 	}
 
+	// Delta frames ride the v3 wire layout: same framing, version byte 3,
+	// so v2-only peers reject them cleanly instead of misparsing.
+	enc, err = EncodeMessage(Message{
+		Type:    MsgDeltaFrame,
+		Sender:  "v1",
+		Payload: []byte("CPD1-opaque-payload"),
+		Seq:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc[4] != 3 {
+		t.Fatalf("delta frame encoded with version %d, want 3", enc[4])
+	}
+	got, err = DecodeMessage(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != MsgDeltaFrame || got.Seq != 7 || string(got.Payload) != "CPD1-opaque-payload" {
+		t.Errorf("delta frame round trip: got %+v", got)
+	}
+
 	// v1 types stay on the v1 wire layout...
 	enc, err = EncodeMessage(Message{Type: MsgFullScan, Sender: "a"})
 	if err != nil {

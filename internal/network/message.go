@@ -61,6 +61,14 @@ const (
 	// round: like MsgFuseRequest, but every scheduled sender arrives as
 	// a MsgFeatureFrame, budget-trimmed by column salience.
 	MsgFeatureFuseRequest
+	// MsgDeltaFrame publishes (client→hub) one frame of a CPD1 delta
+	// stream: a keyframe, or a delta keyed to the publisher's last
+	// keyframe. The ack discipline mirrors MsgFrame's. A delta the hub
+	// cannot apply (missing or stale keyframe state) is answered with
+	// MsgError naming the keyframe error; the publisher recovers by
+	// re-sending a keyframe. The hub reconstructs and caches canonical
+	// full frames, so fusion rounds always deliver MsgFrame.
+	MsgDeltaFrame
 )
 
 // V2 reports whether the type belongs to the hub session protocol and is

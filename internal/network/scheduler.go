@@ -101,13 +101,25 @@ func (p Plan) Completion() time.Duration {
 }
 
 // Latency returns the freshness delay of the k-th sender's frame: how
-// long after the round starts the receiver holds it.
-func (p Plan) Latency(k int) time.Duration { return p.Slots[k].End }
+// long after the round starts the receiver holds it. An out-of-range k —
+// including any k against the empty or zero-value plan — is no sender at
+// all and yields zero delay, mirroring Completion's empty-round rule.
+func (p Plan) Latency(k int) time.Duration {
+	if k < 0 || k >= len(p.Slots) {
+		return 0
+	}
+	return p.Slots[k].End
+}
 
 // AvailableAt returns when the k-th sender's frame is usable by a
 // receiver: its slot completion plus the scheduler's extra delivery
-// delay.
-func (p Plan) AvailableAt(k int) time.Duration { return p.Slots[k].End + p.extra }
+// delay. Out-of-range k yields zero, like Latency.
+func (p Plan) AvailableAt(k int) time.Duration {
+	if k < 0 || k >= len(p.Slots) {
+		return 0
+	}
+	return p.Slots[k].End + p.extra
+}
 
 // Ready returns when every frame of the round is usable — the round's
 // channel completion plus the extra delivery delay. Zero for the empty

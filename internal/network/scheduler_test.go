@@ -47,6 +47,46 @@ func TestPlanEmptyFrames(t *testing.T) {
 	}
 }
 
+// TestPlanIndexBounds: Latency and AvailableAt must answer 0 for any
+// index outside the plan instead of panicking — callers probe rounds
+// whose sender count they did not produce (an empty round, a degenerate
+// fleet, a stale frame index).
+func TestPlanIndexBounds(t *testing.T) {
+	s := DefaultScheduler()
+	s.ExtraDelay = 100 * time.Millisecond
+	full := s.Plan([]int{100_000, 50_000})
+	empty := s.Plan(nil)
+	var zero Plan
+
+	cases := []struct {
+		name string
+		plan Plan
+		k    int
+		want time.Duration
+	}{
+		{"negative index", full, -1, 0},
+		{"past the end", full, 2, 0},
+		{"far past the end", full, 1 << 20, 0},
+		{"empty plan", empty, 0, 0},
+		{"empty plan negative", empty, -1, 0},
+		{"zero-value plan", zero, 0, 0},
+		{"zero-value plan negative", zero, -5, 0},
+		{"in range", full, 1, full.Slots[1].End},
+	}
+	for _, tc := range cases {
+		if got := tc.plan.Latency(tc.k); got != tc.want {
+			t.Errorf("%s: Latency(%d) = %v, want %v", tc.name, tc.k, got, tc.want)
+		}
+		wantAvail := tc.want
+		if tc.want != 0 {
+			wantAvail += s.ExtraDelay
+		}
+		if got := tc.plan.AvailableAt(tc.k); got != wantAvail {
+			t.Errorf("%s: AvailableAt(%d) = %v, want %v", tc.name, tc.k, got, wantAvail)
+		}
+	}
+}
+
 // TestPlanSerializesSenders: K frames occupy the channel back to back;
 // each slot starts where the previous ended and the round completes at
 // the last slot's end.

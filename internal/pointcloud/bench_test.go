@@ -1,0 +1,94 @@
+package pointcloud
+
+import (
+	"testing"
+)
+
+// The Wire benchmarks compare the v2 per-frame path (self-contained
+// quantized encodes) with the v3 delta stream on the same noisy
+// re-observation workload. One op is one frame through encode + decode;
+// bytes/frame is reported as a metric so CI can track the wire cost of
+// each path (BENCH_wire.json).
+
+const (
+	benchFrames = 32
+	benchPoints = 2000
+)
+
+func benchStream(b *testing.B) []*Cloud {
+	b.Helper()
+	frames := noisyStream(benchFrames, benchPoints, 9)
+	b.ReportAllocs()
+	b.ResetTimer()
+	return frames
+}
+
+func BenchmarkWireV2Stream(b *testing.B) {
+	frames := benchStream(b)
+	dst := GetCloud()
+	defer PutCloud(dst)
+	var bytes int64
+	for i := 0; i < b.N; i++ {
+		frame := frames[i%len(frames)]
+		data, err := EncodeQuantized(frame)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := DecodeInto(data, dst); err != nil {
+			b.Fatal(err)
+		}
+		bytes += int64(len(data))
+	}
+	b.ReportMetric(float64(bytes)/float64(b.N), "bytes/frame")
+}
+
+func BenchmarkWireV3Stream(b *testing.B) {
+	frames := benchStream(b)
+	var enc DeltaEncoder
+	var dec DeltaDecoder
+	dst := GetCloud()
+	defer PutCloud(dst)
+	var bytes int64
+	for i := 0; i < b.N; i++ {
+		frame := frames[i%len(frames)]
+		data, _, err := enc.Encode(frame, uint64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := dec.DecodeInto(data, dst); err != nil {
+			b.Fatal(err)
+		}
+		bytes += int64(len(data))
+	}
+	b.ReportMetric(float64(bytes)/float64(b.N), "bytes/frame")
+}
+
+// BenchmarkWireDecodeAlloc pins the allocation contrast between the
+// allocating Decode and the pooled zero-copy DecodeInto (the hub's and
+// the fusion backends' hot path): with -benchmem, DecodeInto must show
+// 0 allocs/op once the destination capacity is warm.
+func BenchmarkWireDecodeAlloc(b *testing.B) {
+	frame := noisyStream(1, benchPoints, 9)[0]
+	data, err := EncodeQuantized(frame)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("Decode", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Decode(data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("DecodeInto", func(b *testing.B) {
+		dst := GetCloud()
+		defer PutCloud(dst)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := DecodeInto(data, dst); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -72,6 +72,18 @@ func (c *Cloud) points() []Point { return c.pts }
 // per-frame staging buffers (see spod.DetectorScratch).
 func (c *Cloud) Reset() { c.pts = c.pts[:0] }
 
+// ensure resizes the backing slice to n points reusing capacity — the
+// zero-copy decode path writes into clouds drawn from the pool without a
+// per-frame make([]Point, n).
+func (c *Cloud) ensure(n int) []Point {
+	if cap(c.pts) < n {
+		c.pts = make([]Point, n)
+	} else {
+		c.pts = c.pts[:n]
+	}
+	return c.pts
+}
+
 // Append adds points to the cloud.
 func (c *Cloud) Append(pts ...Point) { c.pts = append(c.pts, pts...) }
 

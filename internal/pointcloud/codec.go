@@ -5,13 +5,17 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"cooper/internal/geom"
 )
 
 // Wire formats. The paper (§II-C, §IV-G) observes that point clouds can be
 // shrunk to roughly 200 KB per scan by keeping only positional coordinates
 // and the reflection value; the quantized codec below realises that:
 // 7 bytes per point (3×int16 position at 2 cm resolution + 1 byte
-// reflectance) versus 16 bytes for raw float32 quads.
+// reflectance) versus 16 bytes for raw float32 quads. The temporal delta
+// codec (CPD1, codecv3.go) layers on top of the quantized lattice and
+// shares its record layout.
 
 // Codec identifiers (first four bytes of an encoded cloud).
 var (
@@ -23,6 +27,7 @@ var (
 var (
 	ErrBadMagic  = errors.New("pointcloud: unrecognised wire format magic")
 	ErrTruncated = errors.New("pointcloud: truncated encoding")
+	ErrTrailing  = errors.New("pointcloud: trailing bytes past declared point count")
 	ErrTooLarge  = errors.New("pointcloud: cloud exceeds encodable size")
 )
 
@@ -30,9 +35,19 @@ var (
 // under LiDAR range noise, so quantization does not disturb detection.
 const QuantStep = 0.02
 
-// maxQuantRange is the furthest coordinate magnitude representable by the
-// quantized codec relative to its origin (int16 range × step).
-const maxQuantRange = QuantStep * 32767
+// Quantized cells span the full int16 range: the usable window is
+// [−32768, 32767] steps (about ±655 m) around the frame origin. No cell
+// value is reserved.
+const (
+	minQuantCell = -32768
+	maxQuantCell = 32767
+)
+
+// maxOriginCell bounds the origin's absolute lattice coordinate
+// (±2^40 steps ≈ ±2.2×10^10 m). Within this bound the float64 lattice
+// arithmetic below is exact to ≪ half a step, which keeps re-encoding a
+// decoded cloud bit-stable.
+const maxOriginCell = 1 << 40
 
 const (
 	rawHeaderSize   = 4 + 4 // magic + count
@@ -40,6 +55,54 @@ const (
 	quantHeaderSize = 4 + 4 + 3*8
 	quantPointSize  = 7 // 3 × int16 + uint8
 )
+
+// quantOrigin returns the quantization origin for a cloud: its first
+// point's position snapped to the global QuantStep lattice (the zero
+// vector for an empty cloud). Deriving the origin from the lattice rather
+// than the centroid makes encoding idempotent — re-encoding a decoded
+// cloud reproduces the exact same bytes — which the delta codec and the
+// hub's canonical re-encode depend on. NaN/±Inf coordinates and origins
+// beyond ±maxOriginCell steps yield ErrTooLarge.
+func quantOrigin(c *Cloud) (geom.Vec3, error) {
+	if c.Len() == 0 {
+		return geom.Vec3{}, nil
+	}
+	p := c.pts[0]
+	ox := math.Round(p.X / QuantStep)
+	oy := math.Round(p.Y / QuantStep)
+	oz := math.Round(p.Z / QuantStep)
+	if !(math.Abs(ox) <= maxOriginCell && math.Abs(oy) <= maxOriginCell && math.Abs(oz) <= maxOriginCell) {
+		return geom.Vec3{}, fmt.Errorf("origin point at (%g,%g,%g): %w", p.X, p.Y, p.Z, ErrTooLarge)
+	}
+	// +0 normalises the −0.0 that Round yields for tiny negatives: a −0.0
+	// origin would decode to +0.0 coordinates and break byte-stability.
+	return geom.V3(ox*QuantStep+0, oy*QuantStep+0, oz*QuantStep+0), nil
+}
+
+// quantCell quantizes one coordinate against an origin. ok is false when
+// the cell leaves the int16 window — the comparison is written so NaN
+// coordinates fail it too instead of sliding through an
+// implementation-defined int16 conversion.
+func quantCell(v, origin float64) (int16, bool) {
+	d := math.Round((v - origin) / QuantStep)
+	if !(d >= minQuantCell && d <= maxQuantCell) {
+		return 0, false
+	}
+	return int16(d), true
+}
+
+// quantReflectance clamps reflectance into a byte. NaN folds to 0 and
+// ±Inf saturate, so the uint8 conversion is always defined.
+func quantReflectance(r float64) uint8 {
+	v := math.Round(r * 255)
+	if !(v > 0) { // NaN and negatives
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v)
+}
 
 // EncodeRaw serialises the cloud in the raw float32 format (16 bytes per
 // point): the KITTI-style representation.
@@ -60,11 +123,15 @@ func EncodeRaw(c *Cloud) []byte {
 
 // EncodeQuantized serialises the cloud in the compact quantized format
 // (7 bytes per point). Coordinates are stored as int16 multiples of
-// QuantStep relative to the cloud centroid; reflectance as uint8.
-// Points farther than ±655 m from the centroid cannot be represented and
-// yield ErrTooLarge.
+// QuantStep relative to the frame origin (see quantOrigin); reflectance
+// as uint8. Points farther than ±655 m from the origin, or NaN/±Inf
+// coordinates, yield ErrTooLarge. Encoding is idempotent: encoding a
+// decoded cloud reproduces the input bytes.
 func EncodeQuantized(c *Cloud) ([]byte, error) {
-	origin, _ := c.Centroid()
+	origin, err := quantOrigin(c)
+	if err != nil {
+		return nil, err
+	}
 	buf := make([]byte, quantHeaderSize+quantPointSize*c.Len())
 	copy(buf, magicQuantized[:])
 	binary.LittleEndian.PutUint32(buf[4:], uint32(c.Len()))
@@ -72,50 +139,92 @@ func EncodeQuantized(c *Cloud) ([]byte, error) {
 	binary.LittleEndian.PutUint64(buf[16:], math.Float64bits(origin.Y))
 	binary.LittleEndian.PutUint64(buf[24:], math.Float64bits(origin.Z))
 	off := quantHeaderSize
-	for _, p := range c.pts {
-		dx, dy, dz := p.X-origin.X, p.Y-origin.Y, p.Z-origin.Z
-		if math.Abs(dx) > maxQuantRange || math.Abs(dy) > maxQuantRange || math.Abs(dz) > maxQuantRange {
-			return nil, fmt.Errorf("point at (%f,%f,%f): %w", p.X, p.Y, p.Z, ErrTooLarge)
+	for i, p := range c.pts {
+		var qx, qy, qz int16
+		if i > 0 {
+			var okx, oky, okz bool
+			qx, okx = quantCell(p.X, origin.X)
+			qy, oky = quantCell(p.Y, origin.Y)
+			qz, okz = quantCell(p.Z, origin.Z)
+			if !okx || !oky || !okz {
+				return nil, fmt.Errorf("point at (%g,%g,%g): %w", p.X, p.Y, p.Z, ErrTooLarge)
+			}
 		}
-		binary.LittleEndian.PutUint16(buf[off:], uint16(int16(math.Round(dx/QuantStep))))
-		binary.LittleEndian.PutUint16(buf[off+2:], uint16(int16(math.Round(dy/QuantStep))))
-		binary.LittleEndian.PutUint16(buf[off+4:], uint16(int16(math.Round(dz/QuantStep))))
-		r := math.Round(p.Reflectance * 255)
-		buf[off+6] = uint8(math.Max(0, math.Min(255, r)))
+		// The first point defines the origin, so it is the zero cell by
+		// construction — rounding may not agree at exact half-step
+		// boundaries, and an off-by-one first cell would shift the origin
+		// on re-encode and break byte-stability.
+		binary.LittleEndian.PutUint16(buf[off:], uint16(qx))
+		binary.LittleEndian.PutUint16(buf[off+2:], uint16(qy))
+		binary.LittleEndian.PutUint16(buf[off+4:], uint16(qz))
+		buf[off+6] = quantReflectance(p.Reflectance)
 		off += quantPointSize
 	}
 	return buf, nil
 }
 
-// Decode parses either wire format back into a cloud.
+// Decode parses any wire format back into a fresh cloud. CPD1 keyframes
+// are self-contained and decode too; CPD1 deltas need keyframe state and
+// therefore a DeltaDecoder (bare deltas return ErrNeedsKeyframe).
 func Decode(data []byte) (*Cloud, error) {
-	if len(data) < 4 {
-		return nil, ErrTruncated
+	out := &Cloud{}
+	if err := DecodeInto(data, out); err != nil {
+		return nil, err
 	}
-	var magic [4]byte
-	copy(magic[:], data)
-	switch magic {
+	return out, nil
+}
+
+// DecodeInto is the zero-copy variant of Decode: it parses directly from
+// the receive buffer into dst, reusing dst's point capacity (pair with
+// GetCloud/PutCloud to eliminate per-frame allocation). dst is left empty
+// on error. Framing is strict: short buffers return ErrTruncated and
+// bytes past the declared point count return ErrTrailing.
+func DecodeInto(data []byte, dst *Cloud) error {
+	if dst == nil {
+		return errors.New("pointcloud: DecodeInto: nil destination")
+	}
+	dst.Reset()
+	if len(data) < 4 {
+		return ErrTruncated
+	}
+	switch magic := ([4]byte{data[0], data[1], data[2], data[3]}); magic {
 	case magicRaw:
-		return decodeRaw(data)
+		return decodeRawInto(data, dst)
 	case magicQuantized:
-		return decodeQuantized(data)
+		return decodeQuantizedInto(data, dst)
+	case magicDelta:
+		return decodeDeltaStandalone(data, dst)
 	default:
-		return nil, fmt.Errorf("%w: %q", ErrBadMagic, magic[:])
+		return fmt.Errorf("%w: %q", ErrBadMagic, data[:4])
 	}
 }
 
-func decodeRaw(data []byte) (*Cloud, error) {
+// checkFrameLen validates a declared point count against the buffer in
+// uint64 arithmetic, so adversarial counts cannot wrap the size check on
+// 32-bit platforms. It returns the count as a safe int.
+func checkFrameLen(data []byte, header, pointSize int, count uint32) (int, error) {
+	want := uint64(header) + uint64(count)*uint64(pointSize)
+	switch {
+	case uint64(len(data)) < want:
+		return 0, ErrTruncated
+	case uint64(len(data)) > want:
+		return 0, ErrTrailing
+	}
+	return int(count), nil
+}
+
+func decodeRawInto(data []byte, dst *Cloud) error {
 	if len(data) < rawHeaderSize {
-		return nil, ErrTruncated
+		return ErrTruncated
 	}
-	n := int(binary.LittleEndian.Uint32(data[4:]))
-	if len(data) < rawHeaderSize+n*rawPointSize {
-		return nil, ErrTruncated
+	n, err := checkFrameLen(data, rawHeaderSize, rawPointSize, binary.LittleEndian.Uint32(data[4:]))
+	if err != nil {
+		return err
 	}
-	out := &Cloud{pts: make([]Point, n)}
+	pts := dst.ensure(n)
 	off := rawHeaderSize
 	for i := 0; i < n; i++ {
-		out.pts[i] = Point{
+		pts[i] = Point{
 			X:           float64(math.Float32frombits(binary.LittleEndian.Uint32(data[off:]))),
 			Y:           float64(math.Float32frombits(binary.LittleEndian.Uint32(data[off+4:]))),
 			Z:           float64(math.Float32frombits(binary.LittleEndian.Uint32(data[off+8:]))),
@@ -123,27 +232,27 @@ func decodeRaw(data []byte) (*Cloud, error) {
 		}
 		off += rawPointSize
 	}
-	return out, nil
+	return nil
 }
 
-func decodeQuantized(data []byte) (*Cloud, error) {
+func decodeQuantizedInto(data []byte, dst *Cloud) error {
 	if len(data) < quantHeaderSize {
-		return nil, ErrTruncated
+		return ErrTruncated
 	}
-	n := int(binary.LittleEndian.Uint32(data[4:]))
-	if len(data) < quantHeaderSize+n*quantPointSize {
-		return nil, ErrTruncated
+	n, err := checkFrameLen(data, quantHeaderSize, quantPointSize, binary.LittleEndian.Uint32(data[4:]))
+	if err != nil {
+		return err
 	}
 	ox := math.Float64frombits(binary.LittleEndian.Uint64(data[8:]))
 	oy := math.Float64frombits(binary.LittleEndian.Uint64(data[16:]))
 	oz := math.Float64frombits(binary.LittleEndian.Uint64(data[24:]))
-	out := &Cloud{pts: make([]Point, n)}
+	pts := dst.ensure(n)
 	off := quantHeaderSize
 	for i := 0; i < n; i++ {
 		dx := int16(binary.LittleEndian.Uint16(data[off:]))
 		dy := int16(binary.LittleEndian.Uint16(data[off+2:]))
 		dz := int16(binary.LittleEndian.Uint16(data[off+4:]))
-		out.pts[i] = Point{
+		pts[i] = Point{
 			X:           ox + float64(dx)*QuantStep,
 			Y:           oy + float64(dy)*QuantStep,
 			Z:           oz + float64(dz)*QuantStep,
@@ -151,7 +260,7 @@ func decodeQuantized(data []byte) (*Cloud, error) {
 		}
 		off += quantPointSize
 	}
-	return out, nil
+	return nil
 }
 
 // EncodedSizeRaw returns the raw-format wire size in bytes for n points.

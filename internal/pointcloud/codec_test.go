@@ -1,6 +1,7 @@
 package pointcloud
 
 import (
+	"bytes"
 	"errors"
 	"math"
 	"testing"
@@ -125,6 +126,149 @@ func TestEncodeQuantizedTooFar(t *testing.T) {
 	if _, err := EncodeQuantized(c); !errors.Is(err, ErrTooLarge) {
 		t.Errorf("err = %v, want ErrTooLarge", err)
 	}
+}
+
+func TestDecodeRejectsTrailingBytes(t *testing.T) {
+	c := randomCloud(10, 60)
+	for name, enc := range map[string][]byte{
+		"raw":       EncodeRaw(c),
+		"quantized": mustEncodeQuantized(t, c),
+	} {
+		long := append(append([]byte{}, enc...), 0xAB)
+		if _, err := Decode(long); !errors.Is(err, ErrTrailing) {
+			t.Errorf("%s: err = %v, want ErrTrailing", name, err)
+		}
+	}
+}
+
+func TestDecodeHugeCountNoOverflow(t *testing.T) {
+	// An adversarial count whose byte size wraps 32-bit int arithmetic:
+	// 0xFFFFFFFF × 16 ≡ −16 in int32, which would pass a naive
+	// len(data) < header+n*size check and then panic in make. The decoder
+	// must size-check in 64-bit and report truncation.
+	for _, magic := range []string{"CPC1", "CPQ1"} {
+		data := append([]byte(magic), 0xFF, 0xFF, 0xFF, 0xFF)
+		data = append(data, make([]byte, 64)...)
+		if _, err := Decode(data); !errors.Is(err, ErrTruncated) {
+			t.Errorf("%s: err = %v, want ErrTruncated", magic, err)
+		}
+	}
+}
+
+func TestEncodeQuantizedNaNCoordinate(t *testing.T) {
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		// NaN/Inf in a non-origin point must be rejected, not silently
+		// passed through an undefined float→int16 conversion.
+		c := FromPoints([]Point{{X: 1}, {X: bad}})
+		if _, err := EncodeQuantized(c); !errors.Is(err, ErrTooLarge) {
+			t.Errorf("coord %v: err = %v, want ErrTooLarge", bad, err)
+		}
+		// And in the origin point itself.
+		c = FromPoints([]Point{{Y: bad}})
+		if _, err := EncodeQuantized(c); !errors.Is(err, ErrTooLarge) {
+			t.Errorf("origin coord %v: err = %v, want ErrTooLarge", bad, err)
+		}
+	}
+}
+
+func TestEncodeQuantizedReflectanceClamped(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want float64 // decoded value
+	}{
+		{math.NaN(), 0},
+		{math.Inf(1), 1},
+		{math.Inf(-1), 0},
+		{-3, 0},
+		{7, 1},
+	}
+	for _, tc := range cases {
+		c := FromPoints([]Point{{X: 1, Reflectance: tc.in}})
+		got, err := Decode(mustEncodeQuantized(t, c))
+		if err != nil {
+			t.Fatalf("reflectance %v: %v", tc.in, err)
+		}
+		if got.At(0).Reflectance != tc.want {
+			t.Errorf("reflectance %v decoded to %v, want %v", tc.in, got.At(0).Reflectance, tc.want)
+		}
+	}
+}
+
+func TestQuantizedFullInt16Range(t *testing.T) {
+	// Both int16 extremes are usable cells: ±655.36 m from the origin.
+	c := FromPoints([]Point{
+		{X: 0, Y: 0, Z: 0},
+		{X: -32768 * QuantStep, Y: 32767 * QuantStep, Z: -32768 * QuantStep},
+	})
+	got, err := Decode(mustEncodeQuantized(t, c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := got.At(1); p.X != -32768*QuantStep || p.Y != 32767*QuantStep {
+		t.Errorf("extreme cells decoded to %+v", p)
+	}
+	// One step beyond either extreme is out of range.
+	over := FromPoints([]Point{{X: 0}, {X: -32769 * QuantStep}})
+	if _, err := EncodeQuantized(over); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("below-range err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestEncodeQuantizedIdempotent(t *testing.T) {
+	// Encoding a decoded cloud must reproduce the exact bytes — the
+	// property the delta codec and the hub's canonical re-encode rest on.
+	for seed := int64(0); seed < 20; seed++ {
+		c := randomCloud(200, 70+seed)
+		enc := mustEncodeQuantized(t, c)
+		dec, err := Decode(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc2, err := EncodeQuantized(dec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("seed %d: re-encoding a decoded cloud changed the bytes", seed)
+		}
+	}
+}
+
+func TestDecodeIntoReusesCapacity(t *testing.T) {
+	big := randomCloud(1000, 61)
+	small := randomCloud(10, 62)
+	dst := &Cloud{}
+	if err := DecodeInto(mustEncodeQuantized(t, big), dst); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Len() != 1000 {
+		t.Fatalf("len %d", dst.Len())
+	}
+	// A smaller decode into the same cloud must not allocate.
+	enc := mustEncodeQuantized(t, small)
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := DecodeInto(enc, dst); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("DecodeInto into a warm cloud allocates %.0f times per run, want 0", allocs)
+	}
+	if dst.Len() != 10 {
+		t.Fatalf("len %d after reuse", dst.Len())
+	}
+	if err := DecodeInto(enc, nil); err == nil {
+		t.Error("nil destination must error")
+	}
+}
+
+func mustEncodeQuantized(t *testing.T, c *Cloud) []byte {
+	t.Helper()
+	enc, err := EncodeQuantized(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc
 }
 
 func TestEncodedSizes(t *testing.T) {

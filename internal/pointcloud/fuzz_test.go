@@ -60,6 +60,15 @@ func FuzzEncodeDecodeQuantized(f *testing.F) {
 		if dec.Len() != cloud.Len() {
 			t.Fatalf("round-trip length %d, want %d", dec.Len(), cloud.Len())
 		}
+		// Leg 3: idempotency. Re-encoding the decoded cloud must reproduce
+		// the exact bytes — encode→decode→encode is byte-stable.
+		enc2, err := EncodeQuantized(dec)
+		if err != nil {
+			t.Fatalf("re-encoding a decoded cloud: %v", err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatal("encode→decode→encode changed the bytes")
+		}
 		// Positions must land within half a quantization step (plus a
 		// hair of float slack); reflectance within half a uint8 step.
 		const posTol = QuantStep/2 + 1e-9
@@ -101,6 +110,59 @@ func cloudFromFuzz(data []byte) *Cloud {
 		)
 	}
 	return c
+}
+
+// FuzzDecodeDelta fuzzes the CPD1 decode path: a decoder primed with a
+// fixed keyframe is fed arbitrary bytes, which must never panic — only
+// decode cleanly or fail with a codec error — and must never corrupt the
+// retained keyframe state. The standalone Decode entry point gets the
+// same bytes.
+func FuzzDecodeDelta(f *testing.F) {
+	frames := noisyStream(3, 120, 77)
+	var enc DeltaEncoder
+	kf, _, err := enc.Encode(frames[0], 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	delta, _, err := enc.Encode(frames[1], 2)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(kf)
+	f.Add(delta)
+	f.Add(delta[:len(delta)-2]) // truncated payload
+	f.Add(kf[:deltaCommonSize]) // empty-body keyframe claim
+	f.Add([]byte("CPD1"))
+	f.Add([]byte{'C', 'P', 'D', '1', 1, 0, 0, 0}) // delta kind, short
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var dec DeltaDecoder
+		if err := dec.DecodeInto(kf, &Cloud{}); err != nil {
+			t.Fatalf("priming keyframe: %v", err)
+		}
+		dst := &Cloud{}
+		if err := dec.DecodeInto(data, dst); err != nil {
+			if dst.Len() != 0 {
+				t.Fatal("dst not empty after decode error")
+			}
+			// A rejected input must leave decoder state untouched: the
+			// genuine delta still decodes against the primed keyframe.
+			if err := dec.DecodeInto(delta, dst); err != nil {
+				t.Fatalf("genuine delta after rejected fuzz input: %v", err)
+			}
+		} else {
+			// The input decoded — possibly a valid keyframe that replaced
+			// the decoder's state, so the genuine delta may now fail, but
+			// it must fail cleanly, never panic.
+			_ = dec.DecodeInto(delta, dst)
+		}
+
+		// The standalone path must be equally panic-free.
+		if c, err := Decode(data); err == nil && c == nil {
+			t.Fatal("Decode returned nil cloud with nil error")
+		}
+	})
 }
 
 // TestFuzzHelperDeterministic pins the fuzz-corpus cloud builder: the

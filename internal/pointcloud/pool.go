@@ -1,0 +1,27 @@
+package pointcloud
+
+import "sync"
+
+// cloudPool recycles decode-target clouds across frames, mirroring the
+// spod.DetectorScratch discipline: grab a cloud, DecodeInto it, use it,
+// put it back. A steady-state consumer (the fusion hot loop, the hub's
+// delta reconstruction) then pays zero point-slice allocations per frame.
+var cloudPool = sync.Pool{New: func() any { return new(Cloud) }}
+
+// GetCloud returns an empty cloud from the package pool, ready for
+// DecodeInto or Append. Its capacity is whatever its previous life left
+// behind.
+func GetCloud() *Cloud {
+	c := cloudPool.Get().(*Cloud)
+	c.Reset()
+	return c
+}
+
+// PutCloud returns a cloud to the pool. The caller must not retain the
+// cloud — or any slice of its points — after the call. Putting nil is a
+// no-op, so deferred releases compose with early error returns.
+func PutCloud(c *Cloud) {
+	if c != nil {
+		cloudPool.Put(c)
+	}
+}
