@@ -347,6 +347,58 @@ func BenchmarkTrackEpisodePlatoon(b *testing.B) {
 	}
 }
 
+// --- Degraded-world engine: lossy-channel fallback hot path ---
+//
+// The Loss benchmarks are the perf-trajectory numbers for the degraded-
+// world path: judging a broadcast round through the seeded channel model
+// and playing a fused episode whose rounds fall back to each sender's
+// newest delivered frame. Each episode benchmark also reports how much
+// cooperative recall the loss rate costs against the lossless run
+// (recall-delta-pp; 0 at rate 0 by construction). CI's loss bench-smoke
+// step runs these once and records BENCH_loss.json.
+
+func benchLossEpisode(b *testing.B, rate float64) {
+	b.Helper()
+	sc, err := cooper.GenerateScenario(cooper.GenParams{Family: "intersection", Fleet: 3, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	lab := cooper.NewEpisodeLab(sc) // captures amortise across iterations
+	clean, err := lab.Run(cooper.EpisodeOptions{Frames: 4, Hz: 2, Compensate: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := cooper.EpisodeOptions{Frames: 4, Hz: 2, Compensate: true}
+	if rate > 0 {
+		opts.Loss = cooper.DefaultLoss(rate, 1)
+	}
+	var res *cooper.EpisodeResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res, err = lab.Run(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*(clean.MeanCoopRecall()-res.MeanCoopRecall()), "recall-delta-pp")
+}
+
+func BenchmarkLossEpisodeClean(b *testing.B) { benchLossEpisode(b, 0) }
+func BenchmarkLossEpisode5pct(b *testing.B)  { benchLossEpisode(b, 0.05) }
+func BenchmarkLossEpisode20pct(b *testing.B) { benchLossEpisode(b, 0.2) }
+
+// BenchmarkLossModelRound isolates the channel model itself: judging
+// every slot of a 4-sender broadcast plan (drop, burst, reorder draws)
+// must stay O(slots) with only the verdict slices allocated.
+func BenchmarkLossModelRound(b *testing.B) {
+	model := network.DefaultLoss(0.3, 7)
+	plan := network.DefaultScheduler().Plan([]int{60_000, 55_000, 52_000, 48_000})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model.Round(int64(i), plan)
+	}
+}
+
 // --- Fig. 9 isolation: the detector alone on single vs merged clouds ---
 
 func scanPair(sc *scene.Scenario) (*pointcloud.Cloud, *pointcloud.Cloud) {

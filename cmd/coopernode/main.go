@@ -18,6 +18,13 @@
 // precision/recall and modelled round-latency report:
 //
 //	coopernode -selftest 4 -seed 7
+//
+// The selftest can be degraded: -loss R drops published frames on the
+// hub ingress at a seeded rate (receivers fall back to each sender's
+// newest cached frame, flagged stale in the report), and -drift M walks
+// every vehicle's reported pose off truth by up to M metres:
+//
+//	coopernode -selftest 3 -seed 5 -frames 4 -loss 0.4 -drift 0.6
 package main
 
 import (
@@ -61,6 +68,8 @@ func run() error {
 	hz := flag.Float64("hz", 2, "selftest streaming frame rate")
 	backendName := flag.String("backend", "raw", "fusion backend for -selftest and -join: raw (point clouds) or feature (F-Cooper sparse planes)")
 	wire := flag.String("wire", "v2", "publish wire for -selftest and -join: v2 (self-contained quantized frames) or v3 (CPD1 delta stream)")
+	loss := flag.Float64("loss", 0, "selftest: publish loss rate in [0,1) — seeded drops on the hub ingress")
+	drift := flag.Float64("drift", 0, "selftest: per-vehicle pose-walk bound in metres on every reported state")
 	flag.Parse()
 
 	backend, err := fusion.ParseBackend(*backendName)
@@ -79,7 +88,10 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		return hub.SelfTest(os.Stdout, hub.SelfTestOptions{
+		if *loss < 0 || *loss >= 1 {
+			return fmt.Errorf("-loss %g out of range [0,1)", *loss)
+		}
+		opts := hub.SelfTestOptions{
 			Family:        family,
 			Fleet:         *selftest,
 			Seed:          *seed,
@@ -91,7 +103,12 @@ func run() error {
 			Hz:            *hz,
 			Backend:       backend,
 			Wire:          *wire,
-		})
+			Drift:         *drift,
+		}
+		if *loss > 0 {
+			opts.Loss = network.DefaultLoss(*loss, *seed)
+		}
+		return hub.SelfTest(os.Stdout, opts)
 	case *hubAddr != "":
 		return runHub(*hubAddr)
 	case *join != "":

@@ -21,6 +21,15 @@
 // tracker follows the fused detections. The report adds per-frame fused
 // precision/recall and the episode's track-continuity metrics.
 //
+// Episodes can be degraded: -loss R drops, bursts and reorders
+// broadcast slots at rate R (seeded from -seed, deterministic), falling
+// back to each sender's newest delivered frame; in episodes -drift is a
+// bound in metres for a seeded per-vehicle pose-error walk on every
+// reported state, and -icp turns on in-loop ICP alignment correction in
+// the raw fusion stage:
+//
+//	coopersim -scenario intersection -fleet 3 -frames 10 -hz 2 -loss 0.3 -drift 1.0 -icp
+//
 // Output is deterministic for a given seed at any -workers value;
 // wall-clock stage times are printed only with -times.
 package main
@@ -29,6 +38,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -65,8 +75,9 @@ func run() error {
 	fleet := flag.Int("fleet", 4, "fleet size for generated families")
 	seed := flag.Int64("seed", 1, "generation + sensing seed for generated families")
 	traffic := flag.Int("traffic", 0, "ambient car count for generated families (0 = family default)")
-	drift := flag.String("drift", "", "GPS drift mode: xy, one-axis, 2x")
-	icp := flag.Bool("icp", false, "refine alignment with ICP")
+	drift := flag.String("drift", "", "single-shot GPS drift mode (xy, one-axis, 2x); in episodes a pose-walk bound in metres")
+	icp := flag.Bool("icp", false, "refine alignment with ICP (in episodes: in-loop correction, raw backend only)")
+	loss := flag.Float64("loss", 0, "episode channel loss rate in [0,1): seeded slot drops, bursts and reordering")
 	times := flag.Bool("times", false, "print wall-clock detection times (non-deterministic)")
 	workers := flag.Int("workers", 0, "max goroutines for case evaluation (0 = one per CPU, 1 = sequential)")
 	frames := flag.Int("frames", 1, "episode length; > 1 plays a dynamic multi-frame episode")
@@ -101,6 +112,28 @@ func run() error {
 		return err
 	}
 
+	if *frames > 1 {
+		// In episodes -drift is a pose-walk bound in metres, not a mode.
+		var driftM float64
+		if *drift != "" {
+			driftM, err = strconv.ParseFloat(*drift, 64)
+			if err != nil || driftM < 0 {
+				return fmt.Errorf("episodes take -drift as a pose-walk bound in metres (e.g. -drift 1.5), got %q", *drift)
+			}
+		}
+		if *loss < 0 || *loss >= 1 {
+			return fmt.Errorf("-loss %g out of range [0,1)", *loss)
+		}
+		return runEpisode(target, *frames, *hz, *delay, *compensate, *workers, backend, *wire,
+			*loss, *seed, driftM, *icp)
+	}
+	if *loss != 0 {
+		return fmt.Errorf("-loss applies to episodes; add -frames N")
+	}
+	if *wire != "" && *wire != "v2" {
+		return fmt.Errorf("-wire %s applies to episodes; add -frames N", *wire)
+	}
+
 	opts := core.RunOptions{UseICP: *icp, DriftSeed: 7, Backend: backend, BudgetBytes: *budget}
 	switch *drift {
 	case "":
@@ -112,16 +145,6 @@ func run() error {
 		opts.Drift = fusion.DriftDouble
 	default:
 		return fmt.Errorf("unknown drift mode %q", *drift)
-	}
-
-	if *frames > 1 {
-		if *drift != "" || *icp {
-			return fmt.Errorf("episodes (-frames > 1) do not support -drift or -icp yet")
-		}
-		return runEpisode(target, *frames, *hz, *delay, *compensate, *workers, backend, *wire)
-	}
-	if *wire != "" && *wire != "v2" {
-		return fmt.Errorf("-wire %s applies to episodes; add -frames N", *wire)
 	}
 
 	runner := core.NewScenarioRunner(target).SetWorkers(*workers)
@@ -153,12 +176,17 @@ func run() error {
 	return nil
 }
 
-// runEpisode plays and prints a dynamic multi-frame episode.
-func runEpisode(target *scene.Scenario, frames int, hz float64, delay time.Duration, compensate bool, workers int, backend fusion.Backend, wire string) error {
-	res, err := core.RunEpisode(target, core.EpisodeOptions{
+// runEpisode plays and prints a dynamic multi-frame episode, optionally
+// degraded by seeded channel loss and localization drift.
+func runEpisode(target *scene.Scenario, frames int, hz float64, delay time.Duration, compensate bool, workers int, backend fusion.Backend, wire string, loss float64, seed int64, driftM float64, correct bool) error {
+	opts := core.EpisodeOptions{
 		Frames: frames, Hz: hz, Delay: delay, Compensate: compensate, Workers: workers, Backend: backend,
-		Wire: wire,
-	})
+		Wire: wire, Drift: driftM, Correct: correct,
+	}
+	if loss > 0 {
+		opts.Loss = network.DefaultLoss(loss, seed)
+	}
+	res, err := core.RunEpisode(target, opts)
 	if err != nil {
 		return err
 	}
@@ -167,11 +195,20 @@ func runEpisode(target *scene.Scenario, frames int, hz float64, delay time.Durat
 	if !compensate {
 		comp = "off"
 	}
-	// The v2 header is pinned by downstream transcript diffs; v3 announces
-	// itself with one extra clause.
+	// The v2 header is pinned by downstream transcript diffs; v3 and the
+	// degradation knobs each announce themselves with one extra clause.
 	wireNote := ""
 	if wire == "v3" {
 		wireNote = ", wire v3"
+	}
+	if loss > 0 {
+		wireNote += fmt.Sprintf(", loss %g (seed %d)", loss, seed)
+	}
+	if driftM > 0 {
+		wireNote += fmt.Sprintf(", drift %gm", driftM)
+	}
+	if correct {
+		wireNote += ", icp correction"
 	}
 	fmt.Printf("episode %s (%s, %d-beam LiDAR, %d poses, %d cars, %d moving): %d frames @ %g Hz, delay %v, compensation %s, backend %s%s\n",
 		target.Name, target.Dataset, target.LiDAR.BeamCount(), len(target.Poses),
@@ -194,6 +231,13 @@ func runEpisode(target *scene.Scenario, frames int, hz float64, delay time.Durat
 			100*f.Coop.Precision(), 100*f.Coop.Recall())
 	}
 
+	if loss > 0 {
+		lostFrames := 0
+		for _, f := range res.Frames {
+			lostFrames += f.Lost
+		}
+		fmt.Printf("channel: %d sender frame(s) lost in transit; each lossy round fused the newest delivered fallback\n", lostFrames)
+	}
 	t := res.Temporal
 	fmt.Printf("tracks: %d live, %d distinct on truth; continuity %.1f%% (%d/%d truth-frames), ID switches %d, fragments %d\n",
 		res.Tracks, t.Tracks, 100*t.Continuity(), t.MatchedFrames, t.TruthFrames, t.IDSwitches, t.Fragments)

@@ -57,7 +57,7 @@ func parseFamilies(s string) ([]scene.Family, error) {
 }
 
 func run() error {
-	fig := flag.Int("fig", 0, "figure number to regenerate (2-14)")
+	fig := flag.Int("fig", 0, "figure number to regenerate (2-17)")
 	all := flag.Bool("all", false, "regenerate every figure")
 	list := flag.Bool("list", false, "list available figures")
 	fleets := flag.String("fleet", "", "fleet sweep: comma-separated fleet sizes (e.g. 2,4,6,8)")

@@ -42,6 +42,7 @@ import (
 	"cooper/internal/geom"
 	"cooper/internal/hub"
 	"cooper/internal/lidar"
+	"cooper/internal/network"
 	"cooper/internal/pointcloud"
 	"cooper/internal/scene"
 	"cooper/internal/spod"
@@ -256,6 +257,31 @@ const (
 
 // MaxGPSDrift is the ≈10 cm positional error bound of integrated GPS/IMU.
 const MaxGPSDrift = fusion.MaxGPSDrift
+
+// Degraded-world models: seeded channel loss and localization drift.
+type (
+	// LossModel is a deterministic lossy-channel model: per-slot drops,
+	// burst-loss episodes and bounded reordering, all drawn from hashed
+	// (seed, round, slot) coordinates so outcomes are independent of
+	// evaluation order and worker count. The zero value is lossless.
+	LossModel = network.LossModel
+	// LossyPlan is a broadcast plan after the loss model has passed
+	// judgment on each slot.
+	LossyPlan = network.LossyPlan
+	// PoseError is one step of a localization-drift walk: the offset a
+	// vehicle's reported pose carries off its true pose.
+	PoseError = scene.PoseError
+)
+
+// DefaultLoss derives a full channel model (drops, bursts, reordering)
+// from a single loss rate; Enabled() is false at rate 0.
+func DefaultLoss(rate float64, seed int64) LossModel { return network.DefaultLoss(rate, seed) }
+
+// DriftWalk precomputes a vehicle's seeded pose-error walk: frames
+// bounded steps, positions clamped to the given bound in metres.
+func DriftWalk(seed int64, bound float64, frames int) []PoseError {
+	return scene.DriftWalk(seed, bound, frames)
+}
 
 // Pluggable fusion backends: raw point-cloud exchange (the paper's
 // strategy) and feature-level F-Cooper exchange (sparse post-convolution

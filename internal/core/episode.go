@@ -54,6 +54,22 @@ type EpisodeOptions struct {
 	// KeyframeInterval is the v3 keyframe cadence per sender stream
 	// (0 = pointcloud.DefaultKeyframeInterval).
 	KeyframeInterval int
+	// Loss degrades the broadcast channel: seeded per-slot drops, burst
+	// episodes and bounded reordering (see network.LossModel). A dropped
+	// slot loses that sender's frame for the round; the receiver falls
+	// back to the sender's newest delivered frame instead. The zero
+	// value is the lossless channel and reproduces the clean timeline
+	// byte for byte.
+	Loss network.LossModel
+	// Drift is the bound, in metres, of each vehicle's seeded
+	// localization-error walk (scene.DriftWalk): reported GPS/IMU states
+	// drift off the true poses while sensing, occlusion and ground truth
+	// stay exact. Zero means exact localization.
+	Drift float64
+	// Correct runs the ICP alignment-correction stage on every fused
+	// round — fusion.RawBackend's in-loop refinement — recovering what
+	// drift miscalibrates. Requires the raw backend.
+	Correct bool
 }
 
 // backend resolves the episode's fusion backend.
@@ -72,12 +88,23 @@ type EpisodeFrame struct {
 	// SenderFrame is the timeline index of the newest broadcast round
 	// fully delivered by At — the round this frame fused. It is -1
 	// during warm-up, before any round has cleared the channel, when the
-	// receiver falls back to its own single shot.
+	// receiver falls back to its own single shot. Under a lossy channel
+	// each sender contributes its own newest delivered frame;
+	// SenderFrame is then the newest among them.
 	SenderFrame int
-	// Staleness is the age of the fused sender clouds (zero in warm-up).
+	// Staleness is the age of the oldest fused sender cloud (zero in
+	// warm-up). On a lossless channel every fused cloud shares one age;
+	// under loss a sender whose recent slots dropped contributes an
+	// older frame and stretches this.
 	Staleness time.Duration
-	// Senders is the number of fused sender clouds.
+	// Senders is the number of fused sender clouds. Lost counts senders
+	// with no usable frame by At — every broadcast of theirs so far was
+	// dropped (or, on wire v3, undecodable for want of its keyframe) —
+	// so the frame fused without them. Lost is always zero on a lossless
+	// channel, including warm-up (nothing was lost; nothing had arrived
+	// for anyone).
 	Senders int
+	Lost    int
 	// PayloadBytes totals the round's transmitted (post-compensation)
 	// payloads; RoundLatency is the round's modelled delivery time
 	// (channel completion plus extra delay). The schedule is planned
@@ -310,10 +337,43 @@ func (l *EpisodeLab) Run(opts EpisodeOptions) (*EpisodeResult, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown wire %q (want v2 or v3)", opts.Wire)
 	}
+	if opts.Correct {
+		rb, ok := backend.(fusion.RawBackend)
+		if !ok {
+			return nil, fmt.Errorf("core: alignment correction is raw-cloud ICP; backend %q is not raw", backend.Name())
+		}
+		rb.UseICP = true
+		backend = rb
+	}
 
 	// Phase 1 — captures: every participant senses at every frame time,
 	// in parallel. Each capture owns its seeded noise stream.
 	participants := append([]int{receiver}, senders...)
+
+	// Localization drift: each participant owns a seeded bounded error
+	// walk over the episode. Only reported GPS/IMU states drift — true
+	// poses keep driving sensing, occlusion, compensation and ground
+	// truth. Walks are precomputed sequentially in participant order, so
+	// frame workers only ever index into them.
+	var walks map[int][]scene.PoseError
+	if opts.Drift > 0 {
+		walks = make(map[int][]scene.PoseError, len(participants))
+		for _, p := range participants {
+			walks[p] = scene.DriftWalk(sc.Seed*1000003+int64(p)*7919+11, opts.Drift, opts.Frames)
+		}
+	}
+	// stateFor is the GPS/IMU state pose p reports at frame k: the true
+	// pose's state plus that frame's drift error, if any.
+	stateFor := func(pose geom.Transform, p, k int) fusion.VehicleState {
+		st := l.stateAt(pose)
+		if walks != nil {
+			e := walks[p][k]
+			st.GPS.X += e.X
+			st.GPS.Y += e.Y
+			st.Yaw += e.Yaw
+		}
+		return st
+	}
 	type capJob struct {
 		pose int
 		t    time.Duration
@@ -344,7 +404,8 @@ func (l *EpisodeLab) Run(opts EpisodeOptions) (*EpisodeResult, error) {
 		encScratches := spod.NewScratches(parallel.WorkerCount(opts.Workers, len(encJobs)))
 		if _, err := parallel.MapErrWorker(opts.Workers, len(encJobs), func(w, i int) (struct{}, error) {
 			e := l.capture(encJobs[i].pose, encJobs[i].t)
-			_, err := l.payloadFor(e, backend, det, l.stateAt(e.pose), encScratches[w])
+			state := stateFor(e.pose, encJobs[i].pose, int(encJobs[i].t/period))
+			_, err := l.payloadFor(e, backend, det, state, encScratches[w])
 			return struct{}{}, err
 		}); err != nil {
 			return nil, err
@@ -361,22 +422,32 @@ func (l *EpisodeLab) Run(opts EpisodeOptions) (*EpisodeResult, error) {
 	// consumes: v3 changes payload sizes (and therefore the delivery
 	// timeline), never the fused bytes.
 	var v3sizes [][]int // [frame][sender slot] broadcast bytes
+	var v3key [][]int   // [sender slot][frame] → keyframe the delta decodes from
 	if wireV3 {
 		v3sizes = make([][]int, opts.Frames)
 		for k := range v3sizes {
 			v3sizes[k] = make([]int, len(senders))
+		}
+		v3key = make([][]int, len(senders))
+		for si := range v3key {
+			v3key[si] = make([]int, opts.Frames)
 		}
 		if err := parallel.ForErr(opts.Workers, len(senders), func(si int) error {
 			enc := pointcloud.DeltaEncoder{Interval: opts.KeyframeInterval}
 			var dec pointcloud.DeltaDecoder
 			recon := pointcloud.GetCloud()
 			defer pointcloud.PutCloud(recon)
+			lastKey := 0
 			for k := 0; k < opts.Frames; k++ {
 				e := l.capture(senders[si], at(k))
-				data, _, err := enc.Encode(l.cropFOV(e.scan.Cloud), uint64(k+1))
+				data, key, err := enc.Encode(l.cropFOV(e.scan.Cloud), uint64(k+1))
 				if err != nil {
 					return fmt.Errorf("core: delta-encoding pose %d frame %d: %w", senders[si], k, err)
 				}
+				if key {
+					lastKey = k
+				}
+				v3key[si][k] = lastKey
 				if err := dec.DecodeInto(data, recon); err != nil {
 					return fmt.Errorf("core: reconstructing pose %d frame %d: %w", senders[si], k, err)
 				}
@@ -439,6 +510,63 @@ func (l *EpisodeLab) Run(opts EpisodeOptions) (*EpisodeResult, error) {
 	for clock.Step() {
 	}
 
+	// Phase 2.5 — the channel has its say. A lossy channel breaks the
+	// round granularity: every slot has its own fate, so availability is
+	// tracked per sender. Sender slot si's frame j is usable at frame k
+	// when its slot was delivered (and, on wire v3, so was the keyframe
+	// its delta decodes from) by t_k; each frame fuses every sender's
+	// newest usable frame, however stale. The lossless path keeps the
+	// round timeline above — which the zero-rate model reproduces
+	// exactly, every DeliveredAt equalling the plan's Ready.
+	lossy := opts.Loss.Enabled()
+	sround := make([][]int, opts.Frames) // frame k → per-sender fused frame (-1 = none)
+	if lossy {
+		lps := make([]network.LossyPlan, opts.Frames)
+		for j := range lps {
+			lps[j] = opts.Loss.Round(int64(j), plans[j])
+		}
+		usableAt := func(j, si int) (time.Duration, bool) {
+			d, ok := lps[j].AvailableAt(si)
+			if !ok {
+				return 0, false
+			}
+			t := at(j) + d
+			if wireV3 {
+				if kj := v3key[si][j]; kj != j {
+					kd, ok := lps[kj].AvailableAt(si)
+					if !ok {
+						// The keyframe this delta decodes from was lost:
+						// the frame arrived but cannot be reconstructed.
+						return 0, false
+					}
+					if kt := at(kj) + kd; kt > t {
+						t = kt
+					}
+				}
+			}
+			return t, true
+		}
+		for k := range sround {
+			sround[k] = make([]int, len(senders))
+			for si := range senders {
+				best := -1
+				for j := 0; j <= k; j++ {
+					if t, ok := usableAt(j, si); ok && t <= at(k) {
+						best = j
+					}
+				}
+				sround[k][si] = best
+			}
+		}
+	} else {
+		for k := range sround {
+			sround[k] = make([]int, len(senders))
+			for si := range senders {
+				sround[k][si] = rounds[k]
+			}
+		}
+	}
+
 	// Phase 3 — frames fan out: sense → compensate → encode → align →
 	// merge → detect → score, all pure per-frame work. Each worker owns
 	// one detector scratch shared by its frames' single-shot and fused
@@ -455,41 +583,55 @@ func (l *EpisodeLab) Run(opts EpisodeOptions) (*EpisodeResult, error) {
 		snapEval := sc.At(tk)
 		own := l.capture(receiver, tk)
 		ownCloud := l.cropFOV(own.scan.Cloud)
-		recvState := l.stateAt(own.pose)
+		recvState := stateFor(own.pose, receiver, k)
 
-		fe := frameEval{frame: EpisodeFrame{Index: k, At: tk, SenderFrame: rounds[k]}}
+		newest := -1
+		for _, j := range sround[k] {
+			if j > newest {
+				newest = j
+			}
+		}
+		fe := frameEval{frame: EpisodeFrame{Index: k, At: tk, SenderFrame: newest}}
 		singles := l.singleDetect(own, scratch)
 
 		var coopDets []spod.Detection
-		if j := rounds[k]; j < 0 {
-			// Warm-up: no round has cleared the channel yet. The receiver
-			// is on its own; the track layer still consumes the frames —
-			// one truth match scores both columns.
+		if newest < 0 {
+			// Warm-up — or, under loss, a frame where every sender's every
+			// broadcast so far was dropped. The receiver is on its own; the
+			// track layer still consumes the frames — one truth match
+			// scores both columns.
 			coopDets = singles
 			fe.assoc = EvaluateDetectionsAssoc(snapEval, receiver, nil, singles)
 			fe.frame.Single = fe.assoc.Stats
 			fe.frame.Coop = fe.assoc.Stats
 		} else {
 			fe.frame.Single = EvaluateDetections(snapEval, receiver, nil, singles)
-			tj := at(j)
-			fe.frame.Staleness = tk - tj
-			fe.frame.RoundLatency = plans[j].Ready()
-			fe.frame.Senders = len(senders)
+			fe.frame.RoundLatency = plans[newest].Ready()
 			payloads := make([]fusion.Payload, 0, len(senders))
 			deltaD := 0.0
 			for si, s := range senders {
+				j := sround[k][si]
+				if j < 0 {
+					// Nothing of this sender's ever cleared the channel;
+					// the receiver fuses the delivered subset without it.
+					continue
+				}
+				tj := at(j)
+				if age := tk - tj; age > fe.frame.Staleness {
+					fe.frame.Staleness = age
+				}
 				cap := l.capture(s, tj)
 				// Compensation warps the cloud to this frame's consumption
 				// time, so it must re-encode; the uncompensated broadcast
 				// is exactly the capture's cached encode.
-				payload, err := l.payloadFor(cap, backend, det, l.stateAt(cap.pose), scratch)
+				payload, err := l.payloadFor(cap, backend, det, stateFor(cap.pose, s, j), scratch)
 				if err != nil {
 					return frameEval{}, fmt.Errorf("core: frame %d sender %d: %w", k, s, err)
 				}
 				if opts.Compensate {
 					cloud := CompensateScan(sc, cap.scan, cap.pose, tj, tk)
 					p, err := backend.Encode(fusion.SensorFrame{
-						State: l.stateAt(cap.pose), Cloud: l.cropFOV(cloud), Detector: det,
+						State: stateFor(cap.pose, s, j), Cloud: l.cropFOV(cloud), Detector: det,
 					}, scratch)
 					if err != nil {
 						return frameEval{}, fmt.Errorf("core: frame %d sender %d: %w", k, s, err)
@@ -503,11 +645,13 @@ func (l *EpisodeLab) Run(opts EpisodeOptions) (*EpisodeResult, error) {
 				} else {
 					fe.frame.PayloadBytes += len(payload)
 				}
-				payloads = append(payloads, fusion.Payload{State: l.stateAt(cap.pose), Data: payload})
+				payloads = append(payloads, fusion.Payload{State: stateFor(cap.pose, s, j), Data: payload})
 				if d := cap.pose.T.DistXY(own.pose.T); d > deltaD {
 					deltaD = d
 				}
 			}
+			fe.frame.Senders = len(payloads)
+			fe.frame.Lost = len(senders) - len(payloads)
 			in, err := backend.Fuse(fusion.SensorFrame{State: recvState, Cloud: ownCloud, Detector: det}, payloads)
 			if err != nil {
 				return frameEval{}, fmt.Errorf("core: frame %d: %w", k, err)

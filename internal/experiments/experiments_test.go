@@ -13,7 +13,7 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	figs := Figures()
-	want := []int{2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+	want := []int{2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17}
 	if len(figs) != len(want) {
 		t.Fatalf("figures = %v", figs)
 	}

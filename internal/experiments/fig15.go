@@ -36,7 +36,7 @@ type EpisodeSweepConfig struct {
 // the middle delay.
 func DefaultEpisodeSweep() EpisodeSweepConfig {
 	return EpisodeSweepConfig{
-		Families:  scene.Families(),
+		Families:  scene.BaseFamilies(),
 		Fleets:    []int{2, 4},
 		Seed:      1,
 		Frames:    5,

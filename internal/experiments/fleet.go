@@ -27,7 +27,7 @@ type FleetSweepConfig struct {
 // at seed 1 — the Fig. 14 configuration.
 func DefaultFleetSweep() FleetSweepConfig {
 	return FleetSweepConfig{
-		Families: scene.Families(),
+		Families: scene.BaseFamilies(),
 		Fleets:   []int{2, 4, 6, 8},
 		Seed:     1,
 	}

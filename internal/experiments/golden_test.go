@@ -16,7 +16,7 @@ var update = flag.Bool("update", false, "rewrite the experiments golden files")
 // — seeded sensing, modeled (not wall-clock) latencies — and therefore
 // golden-able byte for byte. Figs. 9 and 13 are excluded: their cores
 // are wall-clock measurements that legitimately vary run to run.
-var goldenFigures = []int{2, 3, 4, 5, 6, 7, 8, 10, 11, 12, 14, 15, 16}
+var goldenFigures = []int{2, 3, 4, 5, 6, 7, 8, 10, 11, 12, 14, 15, 16, 17}
 
 func goldenPath(fig int) string {
 	return filepath.Join("testdata", fmt.Sprintf("fig%02d.golden", fig))

@@ -162,11 +162,12 @@ type Generator func(s *Suite, w io.Writer) error
 
 // Registry maps figure numbers to generators. Figure 13 is the §IV-G
 // wire-codec / DSRC feasibility analysis (a claims table rather than a
-// plotted figure in the paper); figures 14–16 go beyond the paper:
+// plotted figure in the paper); figures 14–17 go beyond the paper:
 // the fleet-scale N-way fusion sweep over generated scenario families,
 // the dynamic-episode sweep of latency-compensated fusion versus
-// channel delay and frame rate, and the raw-vs-feature fusion-backend
-// comparison under payload caps.
+// channel delay and frame rate, the raw-vs-feature fusion-backend
+// comparison under payload caps, and the degraded-world sweep of lossy
+// channels crossed with localization drift on the NLOS families.
 func Registry() map[int]Generator {
 	return map[int]Generator{
 		2:  Fig2,
@@ -184,6 +185,7 @@ func Registry() map[int]Generator {
 		14: FigFleet,
 		15: FigEpisodes,
 		16: FigFeature,
+		17: FigDegraded,
 	}
 }
 

@@ -66,7 +66,12 @@ func RefineAlignment(reference, source *pointcloud.Cloud, cfg ICPConfig) geom.Tr
 		var sxs, sys, rxs, rys []float64
 		for i := 0; i < src.Len(); i += stride {
 			p := correction.Apply(src.At(i).Pos())
-			j, d := index.Nearest(p)
+			// Bounded query: pairs beyond MaxPairDistance are discarded
+			// below anyway, and an unbounded nearest-neighbour search
+			// crawls the whole grid whenever a source point lands far from
+			// any reference structure (the NLOS families are full of such
+			// points — the occluder hides most of the reference cloud).
+			j, d := index.NearestWithin(p, cfg.MaxPairDistance)
 			if j < 0 || d > cfg.MaxPairDistance {
 				continue
 			}

@@ -157,6 +157,10 @@ func (c *Client) requestRound(state fusion.VehicleState, k int, budgetBps uint64
 		State:  state,
 		Count:  uint32(max(k, 0)),
 		Budget: budgetBps,
+		// The client's own publish sequence is its freshness floor: any
+		// served sender older than the requester's current frame gets
+		// flagged stale on the reply.
+		Seq: c.seq,
 	}); err != nil {
 		return nil, err
 	}
@@ -164,13 +168,21 @@ func (c *Client) requestRound(state fusion.VehicleState, k int, budgetBps uint64
 	if err != nil {
 		return nil, err
 	}
+	// The reply payload is the partial-round marker: stale sender names,
+	// comma-joined. Hubs predating the marker send none.
+	stale := make(map[string]bool)
+	if len(reply.Payload) > 0 {
+		for _, id := range strings.Split(string(reply.Payload), ",") {
+			stale[id] = true
+		}
+	}
 	frames := make([]RoundFrame, 0, reply.Count)
 	for i := uint32(0); i < reply.Count; i++ {
 		m, err := c.receive(frameType)
 		if err != nil {
 			return nil, err
 		}
-		frames = append(frames, RoundFrame{Sender: m.Sender, State: m.State, Payload: m.Payload})
+		frames = append(frames, RoundFrame{Sender: m.Sender, State: m.State, Payload: m.Payload, Stale: stale[m.Sender]})
 	}
 	return frames, nil
 }

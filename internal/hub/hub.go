@@ -42,6 +42,12 @@ type Config struct {
 	// MaxSenders caps the senders per fusion round when a request does
 	// not name its own cap (default 8).
 	MaxSenders int
+	// Loss injects seeded publish loss: frames the model drops never
+	// reach the cache (the sender's previous frame keeps serving), and a
+	// dropped CPD1 keyframe surfaces on the next delta as the in-band
+	// keyframe error the client recovers from. The zero value delivers
+	// everything.
+	Loss network.LossModel
 	// Logf, when set, receives one line per session event (connects,
 	// publishes, rounds). The hub never logs through any other path, so
 	// servers stay silent by default and tests stay quiet.
@@ -169,6 +175,16 @@ func (h *Hub) Publish(sender string, state fusion.VehicleState, payload []byte, 
 	if sender == "" {
 		return 0, fmt.Errorf("hub: publish with empty sender")
 	}
+	if h.cfg.Loss.DropPublish(sender, seq) {
+		// Lost in transit: the cache keeps whatever it had. The drop
+		// happens before any decoding, so a lost CPD1 keyframe never
+		// advances the sender's delta state — the next delta against it
+		// fails with the keyframe error and the client re-keys.
+		h.logf("frame from %s (seq %d) lost in transit", sender, seq)
+		h.mu.RLock()
+		defer h.mu.RUnlock()
+		return len(h.frames), nil
+	}
 	frame := &cachedFrame{state: state, payload: payload, seq: seq}
 	switch {
 	case spod.IsFeaturePayload(payload):
@@ -250,6 +266,10 @@ type RoundFrame struct {
 	Category    roi.Category
 	Points      int
 	Downsampled bool
+	// Stale marks a frame older than the requester's freshness floor: the
+	// sender's newer publish was lost, so this round serves (and flags)
+	// its last delivered frame.
+	Stale bool
 }
 
 // Round is an assembled fusion round: the selected sender frames in
@@ -259,7 +279,16 @@ type Round struct {
 	// Plan schedules the frames on the hub's channel; Plan.Completion is
 	// the modelled round latency the requester would observe.
 	Plan network.Plan
+	// Stale names the served senders (slot order) whose cached frame
+	// predates the requester's freshness floor — publishes the channel
+	// dropped this round, answered with the sender's newest delivered
+	// frame instead. The requester fuses them knowingly: the marker is
+	// the in-band signal that the round is partial, never an error.
+	Stale []string
 }
+
+// Partial reports whether the round served any stale sender.
+func (r Round) Partial() bool { return len(r.Stale) > 0 }
 
 // AssembleRound builds a fusion round for a requester at the given
 // position: the k nearest cached senders (excluding the requester
@@ -271,7 +300,16 @@ type Round struct {
 // budget fully determine the round, including slot order (nearest first,
 // sender ID breaking distance ties).
 func (h *Hub) AssembleRound(requester string, at geom.Vec3, k int, budgetBps uint64) (Round, error) {
-	return h.assembleRound(requester, at, k, budgetBps, false)
+	return h.assembleRound(requester, at, k, budgetBps, 0, false)
+}
+
+// AssembleRoundSince is AssembleRound with a freshness floor: senders
+// whose cached frame's sequence number is below floor are still served —
+// their newest delivered frame beats nothing at all — but named in the
+// round's Stale list so the requester fuses the partial round knowingly.
+// A floor of zero (what pre-floor clients send) flags nothing.
+func (h *Hub) AssembleRoundSince(requester string, at geom.Vec3, k int, budgetBps uint64, floor uint64) (Round, error) {
+	return h.assembleRound(requester, at, k, budgetBps, floor, false)
 }
 
 // AssembleFeatureRound is AssembleRound for a feature-level requester:
@@ -280,10 +318,10 @@ func (h *Hub) AssembleRound(requester string, at geom.Vec3, k int, budgetBps uin
 // the round fuses past the convolution seam regardless of how each sender
 // published.
 func (h *Hub) AssembleFeatureRound(requester string, at geom.Vec3, k int, budgetBps uint64) (Round, error) {
-	return h.assembleRound(requester, at, k, budgetBps, true)
+	return h.assembleRound(requester, at, k, budgetBps, 0, true)
 }
 
-func (h *Hub) assembleRound(requester string, at geom.Vec3, k int, budgetBps uint64, feature bool) (Round, error) {
+func (h *Hub) assembleRound(requester string, at geom.Vec3, k int, budgetBps uint64, floor uint64, feature bool) (Round, error) {
 	if k <= 0 {
 		k = h.cfg.MaxSenders
 	}
@@ -327,6 +365,10 @@ func (h *Hub) assembleRound(requester string, at geom.Vec3, k int, budgetBps uin
 	sizes := make([]int, 0, len(cands))
 	for _, c := range cands {
 		rf := RoundFrame{Sender: c.id, State: c.frame.state}
+		if floor > 0 && c.frame.seq < floor {
+			rf.Stale = true
+			r.Stale = append(r.Stale, c.id)
+		}
 		switch {
 		case perSender == 0 && !feature && c.frame.cloud != nil:
 			rf.Payload = c.frame.payload

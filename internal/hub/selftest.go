@@ -54,12 +54,23 @@ type SelfTestOptions struct {
 	// serving. The report body is byte-identical either way — v3 only
 	// appends a line accounting the wire bytes saved. Raw backend only.
 	Wire string
+	// Loss injects seeded publish loss at the hub (see Config.Loss):
+	// dropped publishes leave each sender's last delivered frame serving,
+	// and rounds flag those senders stale. The zero value changes nothing
+	// in the report.
+	Loss network.LossModel
+	// Drift is the bound, in metres, of each client's seeded
+	// localization-error walk: published and fusing states drift off the
+	// true poses while sensing and ground truth stay exact. Zero changes
+	// nothing in the report.
+	Drift float64
 }
 
 // selfReport is one client's deterministic round outcome.
 type selfReport struct {
 	id          string
 	senders     []string
+	stale       int
 	payloadSum  int
 	plan        network.Plan
 	single      core.TruthStats
@@ -118,7 +129,28 @@ func SelfTest(w io.Writer, opts SelfTestOptions) error {
 		return err
 	}
 
-	h := New(Config{MaxSenders: scene.MaxFleet})
+	h := New(Config{MaxSenders: scene.MaxFleet, Loss: opts.Loss})
+
+	// Localization drift: one seeded error walk per client, precomputed
+	// sequentially; the fan-out phases only index into it. The seed
+	// construction matches core's episode engine, so the selftest and an
+	// episode drift the same vehicle the same way.
+	var walks [][]scene.PoseError
+	if opts.Drift > 0 {
+		walks = make([][]scene.PoseError, opts.Fleet)
+		for i := range walks {
+			walks[i] = scene.DriftWalk(sc.Seed*1000003+int64(i)*7919+11, opts.Drift, frames)
+		}
+	}
+	driftState := func(st fusion.VehicleState, i, f int) fusion.VehicleState {
+		if walks != nil {
+			e := walks[i][f]
+			st.GPS.X += e.X
+			st.GPS.Y += e.Y
+			st.Yaw += e.Yaw
+		}
+		return st
+	}
 	l, err := network.Listen("127.0.0.1:0")
 	if err != nil {
 		return err
@@ -190,8 +222,9 @@ func SelfTest(w io.Writer, opts SelfTestOptions) error {
 			if err != nil {
 				return nil, err
 			}
+			state := driftState(v.State(), i, f)
 			if wireV3 {
-				_, sent, err := clients[i].PublishDelta(v.State(), frame.Cloud)
+				_, sent, err := clients[i].PublishDelta(state, frame.Cloud)
 				if err != nil {
 					return nil, err
 				}
@@ -204,9 +237,9 @@ func SelfTest(w io.Writer, opts SelfTestOptions) error {
 				return nil, err
 			}
 			if feature {
-				_, err = clients[i].PublishFeatures(v.State(), p.Data)
+				_, err = clients[i].PublishFeatures(state, p.Data)
 			} else {
-				_, err = clients[i].Publish(v.State(), p.Data)
+				_, err = clients[i].Publish(state, p.Data)
 			}
 			if err != nil {
 				return nil, err
@@ -224,6 +257,11 @@ func SelfTest(w io.Writer, opts SelfTestOptions) error {
 		for _, label := range sc.PoseLabels {
 			sel, err := selectionFor(h, label, k, budgetBps, feature)
 			if err != nil {
+				if opts.Loss.Enabled() {
+					// Every publish of this vehicle's so far was lost, so
+					// no round serves it; nothing to pre-derive.
+					continue
+				}
 				return err
 			}
 			selections[label] = sel
@@ -237,10 +275,11 @@ func SelfTest(w io.Writer, opts SelfTestOptions) error {
 			v := vehicles[i]
 			var rframes []RoundFrame
 			var err error
+			reqState := driftState(v.State(), i, f)
 			if feature {
-				rframes, err = clients[i].RequestFeatureRound(v.State(), k, budgetBps)
+				rframes, err = clients[i].RequestFeatureRound(reqState, k, budgetBps)
 			} else {
-				rframes, err = clients[i].RequestRound(v.State(), k, budgetBps)
+				rframes, err = clients[i].RequestRound(reqState, k, budgetBps)
 			}
 			if err != nil {
 				return selfReport{}, err
@@ -258,6 +297,9 @@ func SelfTest(w io.Writer, opts SelfTestOptions) error {
 			participants := []int{i}
 			for _, rf := range rframes {
 				rep.senders = append(rep.senders, rf.Sender)
+				if rf.Stale {
+					rep.stale++
+				}
 				rep.payloadSum += len(rf.Payload)
 				sizes = append(sizes, len(rf.Payload))
 				payloads = append(payloads, fusion.Payload{SenderID: rf.Sender, State: rf.State, Data: rf.Payload})
@@ -276,6 +318,7 @@ func SelfTest(w io.Writer, opts SelfTestOptions) error {
 			if err != nil {
 				return selfReport{}, err
 			}
+			recv.State = reqState
 			in, err := backend.Fuse(recv, payloads)
 			if err != nil {
 				return selfReport{}, err
@@ -352,6 +395,20 @@ func selectionFor(h *Hub, sender string, n int, budgetBps uint64, feature bool) 
 
 func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
 
+// degradedNote labels degraded-world reports: the loss and drift knobs
+// in play. Empty for a clean run, so default transcripts stay
+// byte-identical to the pre-degradation harness.
+func degradedNote(opts SelfTestOptions) string {
+	note := ""
+	if opts.Loss.Enabled() {
+		note += fmt.Sprintf(" loss=%g(seed %d)", opts.Loss.DropRate, opts.Loss.Seed)
+	}
+	if opts.Drift > 0 {
+		note += fmt.Sprintf(" drift=%gm", opts.Drift)
+	}
+	return note
+}
+
 // backendName labels the report header with the fusion strategy.
 func backendName(opts SelfTestOptions) string {
 	if opts.Backend == nil {
@@ -365,8 +422,8 @@ func printSelfTest(w io.Writer, sc *scene.Scenario, opts SelfTestOptions, k int,
 	if budgetBps > 0 {
 		budget = fmt.Sprintf("%.2f Mbit/s", float64(budgetBps)/1e6)
 	}
-	fmt.Fprintf(w, "selftest %s fleet=%d seed=%d k=%d budget=%s backend=%s\n",
-		opts.Family, opts.Fleet, opts.Seed, k, budget, backendName(opts))
+	fmt.Fprintf(w, "selftest %s fleet=%d seed=%d k=%d budget=%s backend=%s%s\n",
+		opts.Family, opts.Fleet, opts.Seed, k, budget, backendName(opts), degradedNote(opts))
 	fmt.Fprintf(w, "scenario %s: %d-beam LiDAR, %d poses, %d ground-truth cars\n",
 		sc.Name, sc.LiDAR.BeamCount(), len(sc.Poses), len(sc.Scene.Cars()))
 
@@ -383,6 +440,9 @@ func printSelfTest(w io.Writer, sc *scene.Scenario, opts SelfTestOptions, k int,
 		catNote := strings.Join(cats, ", ")
 		if r.downsampled > 0 {
 			catNote += fmt.Sprintf(" (%d downsampled)", r.downsampled)
+		}
+		if opts.Loss.Enabled() {
+			catNote += fmt.Sprintf(" | %d stale", r.stale)
 		}
 		fmt.Fprintf(w, "\nround %s: fuses %s | %d KB | latency %v | load %.2f Mbit/s (util %.0f%%, fits %v) | %s\n",
 			r.id, strings.Join(r.senders, "+"), r.payloadSum/1024,
@@ -413,8 +473,8 @@ func printStreaming(w io.Writer, sc *scene.Scenario, opts SelfTestOptions, frame
 	if budgetBps > 0 {
 		budget = fmt.Sprintf("%.2f Mbit/s", float64(budgetBps)/1e6)
 	}
-	fmt.Fprintf(w, "selftest %s fleet=%d seed=%d k=%d budget=%s backend=%s frames=%d hz=%g\n",
-		opts.Family, opts.Fleet, opts.Seed, k, budget, backendName(opts), frames, opts.Hz)
+	fmt.Fprintf(w, "selftest %s fleet=%d seed=%d k=%d budget=%s backend=%s frames=%d hz=%g%s\n",
+		opts.Family, opts.Fleet, opts.Seed, k, budget, backendName(opts), frames, opts.Hz, degradedNote(opts))
 	fmt.Fprintf(w, "scenario %s: %d-beam LiDAR, %d poses, %d ground-truth cars, %d moving\n",
 		sc.Name, sc.LiDAR.BeamCount(), len(sc.Poses), len(sc.Scene.Cars()), sc.MovingObjects())
 
@@ -422,7 +482,7 @@ func printStreaming(w io.Writer, sc *scene.Scenario, opts SelfTestOptions, frame
 	for f, reports := range allReports {
 		at := time.Duration(float64(f) / opts.Hz * float64(time.Second))
 		var singleR, coopR float64
-		var fits int
+		var fits, stale int
 		var worst time.Duration
 		for _, r := range reports {
 			singleR += r.single.Recall()
@@ -430,6 +490,7 @@ func printStreaming(w io.Writer, sc *scene.Scenario, opts SelfTestOptions, frame
 			if r.plan.Fits() {
 				fits++
 			}
+			stale += r.stale
 			if c := r.plan.Completion(); c > worst {
 				worst = c
 			}
@@ -437,8 +498,12 @@ func printStreaming(w io.Writer, sc *scene.Scenario, opts SelfTestOptions, frame
 		n := float64(len(reports))
 		episodeSingle += singleR / n
 		episodeCoop += coopR / n
-		fmt.Fprintf(w, "frame %2d t=%5dms: single R=%s -> cooper R=%s | worst latency %v | fits %d/%d\n",
-			f, at.Milliseconds(), pct(singleR/n), pct(coopR/n), worst, fits, len(reports))
+		staleNote := ""
+		if opts.Loss.Enabled() {
+			staleNote = fmt.Sprintf(" | stale %d", stale)
+		}
+		fmt.Fprintf(w, "frame %2d t=%5dms: single R=%s -> cooper R=%s | worst latency %v | fits %d/%d%s\n",
+			f, at.Milliseconds(), pct(singleR/n), pct(coopR/n), worst, fits, len(reports), staleNote)
 	}
 
 	fmt.Fprintln(w, "\ntracks per vehicle:")

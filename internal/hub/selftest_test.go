@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"cooper/internal/fusion"
+	"cooper/internal/network"
 )
 
 // TestSelfTestDeterministic is the acceptance property behind
@@ -134,5 +135,39 @@ func TestSelfTestValidation(t *testing.T) {
 	}
 	if err := SelfTest(nil, SelfTestOptions{Fleet: 4, Seed: 1, Family: "nope"}); err == nil {
 		t.Error("unknown family accepted")
+	}
+}
+
+// TestSelfTestDegraded streams the selftest through a lossy channel with
+// localization drift: the degraded report must be byte-identical across
+// runs and worker counts, announce its knobs in the header, and surface
+// stale senders — while a zero-loss, zero-drift run reproduces the clean
+// report exactly.
+func TestSelfTestDegraded(t *testing.T) {
+	run := func(workers int, loss float64, drift float64) string {
+		var buf bytes.Buffer
+		opts := SelfTestOptions{Fleet: 3, Seed: 5, Workers: workers, Frames: 4, Hz: 2, Drift: drift}
+		if loss > 0 {
+			opts.Loss = network.LossModel{DropRate: loss, Seed: 9}
+		}
+		if err := SelfTest(&buf, opts); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if clean, zeroed := run(1, 0, 0), run(1, 0, 0); clean != zeroed {
+		t.Error("clean selftest not reproducible")
+	}
+	seq := run(1, 0.4, 0.6)
+	if par := run(4, 0.4, 0.6); par != seq {
+		t.Errorf("degraded selftest differs across worker counts:\n--- workers=1\n%s\n--- workers=4\n%s", seq, par)
+	}
+	for _, want := range []string{"loss=0.4(seed 9)", "drift=0.6m", "| stale "} {
+		if !strings.Contains(seq, want) {
+			t.Errorf("degraded report missing %q:\n%s", want, seq)
+		}
+	}
+	if !strings.Contains(run(1, 0, 0.6), "drift=0.6m") {
+		t.Error("drift-only report missing its header clause")
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strings"
 
 	"cooper/internal/network"
 )
@@ -153,18 +154,24 @@ func (h *Hub) handle(conn *network.Transport, msg network.Message) error {
 
 	case network.MsgFuseRequest, network.MsgFeatureFuseRequest:
 		feature := msg.Type == network.MsgFeatureFuseRequest
-		round, err := h.assembleRound(msg.Sender, msg.State.GPS, int(msg.Count), msg.Budget, feature)
+		// msg.Seq is the requester's freshness floor (its own publish
+		// sequence); pre-floor clients send 0, which flags nothing.
+		round, err := h.assembleRound(msg.Sender, msg.State.GPS, int(msg.Count), msg.Budget, msg.Seq, feature)
 		if err != nil {
 			return h.sendError(conn, err)
 		}
 		seq := h.rounds.Add(1)
-		h.logf("round %d for %s: %d frame(s), %d B, completes in %v",
-			seq, msg.Sender, len(round.Frames), round.Plan.TotalBytes(), round.Plan.Completion())
+		h.logf("round %d for %s: %d frame(s), %d B, completes in %v, %d stale",
+			seq, msg.Sender, len(round.Frames), round.Plan.TotalBytes(), round.Plan.Completion(), len(round.Stale))
 		if err := conn.Send(network.Message{
 			Type:   network.MsgFuseReply,
 			Sender: hubID,
 			Count:  uint32(len(round.Frames)),
 			Seq:    seq,
+			// The partial-round marker travels in-band on the reply: the
+			// stale senders' names, comma-joined in slot order. Empty for
+			// a fully fresh round; older clients ignore the field.
+			Payload: []byte(strings.Join(round.Stale, ",")),
 		}); err != nil {
 			return err
 		}

@@ -1,0 +1,208 @@
+package network
+
+import (
+	"hash/fnv"
+	"time"
+)
+
+// LossModel is a seeded degraded-channel model layered on top of the
+// CSMA/CA Scheduler: per-slot independent drops, burst-loss episodes
+// (a few consecutive slots wiped out together, the DSRC analogue of a
+// deep fade), and bounded reordering that delays a delivered frame past
+// its round without losing it.
+//
+// Every decision the model makes is a pure function of (Seed, stream
+// tag, slot index) via a splitmix64 hash — no internal state, no
+// sequential RNG. That is what makes the model safe under the repo's
+// determinism policy: outcomes do not depend on evaluation order,
+// worker count, or how many other draws happened first, and any slot's
+// fate can be recomputed in O(1). The zero value is the lossless
+// channel.
+type LossModel struct {
+	// DropRate is the independent per-slot drop probability.
+	DropRate float64
+	// BurstRate is the per-slot probability that a burst episode starts
+	// at that slot; a burst wipes out BurstLen consecutive slots.
+	BurstRate float64
+	// BurstLen is the length of one burst episode in slots. Zero or
+	// negative disables bursts regardless of BurstRate.
+	BurstLen int
+	// ReorderRate is the probability a delivered slot is reordered:
+	// delayed by up to ReorderWindow slot-times past the round's Ready.
+	ReorderRate float64
+	// ReorderWindow bounds the reorder delay in slot-times. Zero or
+	// negative disables reordering regardless of ReorderRate.
+	ReorderWindow int
+	// Seed fixes every draw. Two models with equal fields are the same
+	// channel; see docs/DETERMINISM.md for the seed contract.
+	Seed int64
+}
+
+// DefaultLoss returns the one-knob degraded channel used by the CLIs'
+// -loss flag: independent drops at the given rate, occasional 3-slot
+// bursts, and a 2-slot reorder window, all scaled from the rate so a
+// single number exercises every failure mode.
+func DefaultLoss(rate float64, seed int64) LossModel {
+	return LossModel{
+		DropRate:      rate,
+		BurstRate:     rate / 4,
+		BurstLen:      3,
+		ReorderRate:   rate / 2,
+		ReorderWindow: 2,
+		Seed:          seed,
+	}
+}
+
+// Enabled reports whether the model can ever perturb a round. NaN and
+// negative rates never fire (hash draws in [0,1) compare false), so the
+// zero value and any junk-rate model are both clean channels.
+func (m LossModel) Enabled() bool {
+	return m.DropRate > 0 || (m.BurstRate > 0 && m.BurstLen > 0) ||
+		(m.ReorderRate > 0 && m.ReorderWindow > 0)
+}
+
+// Stream tags keep the model's draw families independent: the same slot
+// index hashed under different tags yields unrelated outcomes.
+const (
+	streamSlotDrop uint64 = 0x736c6f74 // "slot"
+	streamBurst    uint64 = 0x62757273 // "burs"
+	streamReorder  uint64 = 0x72656f72 // "reor"
+	streamShift    uint64 = 0x73686966 // "shif"
+	streamPubDrop  uint64 = 0x70756264 // "pubd"
+	streamPubBurst uint64 = 0x70756262 // "pubb"
+)
+
+// mix64 is the splitmix64 finalizer: a bijective avalanche mix.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// unit returns a uniform draw in [0,1) for (seed, stream, index).
+func (m LossModel) unit(stream, idx uint64) float64 {
+	h := mix64(mix64(uint64(m.Seed)+stream) ^ mix64(idx))
+	return float64(h>>11) / (1 << 53)
+}
+
+// dropped reports whether the global slot index is lost: either its own
+// independent draw fires, or any of the previous BurstLen-1 slots (or
+// itself) started a burst episode that covers it.
+func (m LossModel) dropped(g uint64) bool {
+	if m.unit(streamSlotDrop, g) < m.DropRate {
+		return true
+	}
+	if m.BurstLen <= 0 || !(m.BurstRate > 0) {
+		return false
+	}
+	for back := 0; back < m.BurstLen; back++ {
+		if m.unit(streamBurst, g-uint64(back)) < m.BurstRate {
+			return true
+		}
+	}
+	return false
+}
+
+// LossyPlan is a broadcast round after the channel had its say: the
+// underlying Plan plus each slot's fate. Slots are either dropped or
+// delivered at a definite time ≥ the plan's Ready (reordered frames
+// arrive whole slot-times later, possibly after the next round has
+// begun). The zero value is an empty, lossless round.
+type LossyPlan struct {
+	// Plan is the clean schedule the channel degraded.
+	Plan Plan
+	// Dropped flags each slot lost in transit, by slot index.
+	Dropped []bool
+	// DeliveredAt gives each delivered slot's availability time relative
+	// to the round start; meaningless where Dropped.
+	DeliveredAt []time.Duration
+}
+
+// Round applies the model to one scheduled round. The round index
+// extends the slot sequence across rounds so burst episodes can span a
+// round boundary; calling Round again with the same arguments yields an
+// identical result.
+func (m LossModel) Round(round int64, p Plan) LossyPlan {
+	lp := LossyPlan{
+		Plan:        p,
+		Dropped:     make([]bool, len(p.Slots)),
+		DeliveredAt: make([]time.Duration, len(p.Slots)),
+	}
+	ready := p.Ready()
+	n := uint64(len(p.Slots))
+	for s, sl := range p.Slots {
+		g := uint64(round)*n + uint64(s)
+		if m.dropped(g) {
+			lp.Dropped[s] = true
+			continue
+		}
+		at := ready
+		if m.ReorderWindow > 0 && m.unit(streamReorder, g) < m.ReorderRate {
+			// Reordered: delayed by 1..ReorderWindow of this slot's own
+			// transmit times past Ready.
+			shift := 1 + int(m.unit(streamShift, g)*float64(m.ReorderWindow))
+			if shift > m.ReorderWindow {
+				shift = m.ReorderWindow
+			}
+			at += time.Duration(shift) * (sl.End - sl.Start)
+		}
+		lp.DeliveredAt[s] = at
+	}
+	return lp
+}
+
+// Delivered reports whether the k-th slot survived the channel.
+// Out-of-range k — including any k against the empty plan — is no slot
+// at all and was never delivered.
+func (lp LossyPlan) Delivered(k int) bool {
+	return k >= 0 && k < len(lp.Dropped) && !lp.Dropped[k]
+}
+
+// AvailableAt returns when the k-th slot's frame is usable by the
+// receiver, and whether it ever is. Dropped and out-of-range slots are
+// never usable.
+func (lp LossyPlan) AvailableAt(k int) (time.Duration, bool) {
+	if !lp.Delivered(k) {
+		return 0, false
+	}
+	return lp.DeliveredAt[k], true
+}
+
+// DeliveredCount returns how many of the round's slots survived.
+func (lp LossyPlan) DeliveredCount() int {
+	n := 0
+	for _, d := range lp.Dropped {
+		if !d {
+			n++
+		}
+	}
+	return n
+}
+
+// DropPublish reports whether the channel drops a hub publish from the
+// named sender at the given sequence number. This is the hub-side twin
+// of Round: the same hash construction keyed by (sender, seq) instead
+// of slot index, so concurrent sessions can consult it in any order and
+// agree. Bursts wipe out BurstLen consecutive sequence numbers of one
+// sender's stream.
+func (m LossModel) DropPublish(sender string, seq uint64) bool {
+	if !m.Enabled() {
+		return false
+	}
+	h := fnv.New64a()
+	h.Write([]byte(sender))
+	id := mix64(h.Sum64()) + seq
+	if m.unit(streamPubDrop, id) < m.DropRate {
+		return true
+	}
+	if m.BurstLen <= 0 || !(m.BurstRate > 0) {
+		return false
+	}
+	for back := 0; back < m.BurstLen; back++ {
+		if m.unit(streamPubBurst, id-uint64(back)) < m.BurstRate {
+			return true
+		}
+	}
+	return false
+}

@@ -63,6 +63,32 @@ func (g *GridIndex) Radius(q geom.Vec3, r float64) []int {
 // until a hit is found, then verifies one extra ring to guarantee
 // correctness near cell boundaries.
 func (g *GridIndex) Nearest(q geom.Vec3) (int, float64) {
+	// A sparse index can still force thousands of empty ring scans before
+	// the first hit; callers that only care about bounded matches should
+	// use NearestWithin instead.
+	const maxRings = 1 << 12
+	return g.nearest(q, maxRings)
+}
+
+// NearestWithin is Nearest restricted to a search radius: it returns the
+// closest indexed point no farther than roughly r (cell granularity can
+// admit a slightly farther best — callers enforcing a strict cutoff must
+// still check the returned distance), or (-1, +Inf) when no point lies
+// within the scanned rings. Unlike Nearest, the scan never expands past
+// the cells that can hold a point within r, so queries far from any
+// point cost O(r³/cell³) instead of crawling the whole grid.
+func (g *GridIndex) NearestWithin(q geom.Vec3, r float64) (int, float64) {
+	if r <= 0 {
+		return -1, math.Inf(1)
+	}
+	maxRings := int32(math.Ceil(r/g.cellSize)) + 1
+	return g.nearest(q, maxRings)
+}
+
+// nearest expands ring by ring up to maxRings (exclusive), stopping one
+// ring after the first hit: a closer point can hide in the next shell
+// because cells are cubes.
+func (g *GridIndex) nearest(q geom.Vec3, maxRings int32) (int, float64) {
 	if g.cloud.Len() == 0 {
 		return -1, math.Inf(1)
 	}
@@ -94,9 +120,6 @@ func (g *GridIndex) Nearest(q geom.Vec3) (int, float64) {
 		}
 	}
 
-	// Expand until a hit, then scan one more ring: a closer point can hide
-	// in the next shell because cells are cubes.
-	const maxRings = 1 << 12
 	foundAt := int32(-1)
 	for ring := int32(0); ring < maxRings; ring++ {
 		scanRing(ring)
@@ -105,7 +128,7 @@ func (g *GridIndex) Nearest(q geom.Vec3) (int, float64) {
 			break
 		}
 	}
-	if foundAt >= 0 {
+	if foundAt >= 0 && foundAt+1 < maxRings {
 		scanRing(foundAt + 1)
 	}
 	return best, math.Sqrt(bestD2)

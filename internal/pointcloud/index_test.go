@@ -89,6 +89,45 @@ func TestGridIndexNearestMatchesBruteForce(t *testing.T) {
 	}
 }
 
+func TestGridIndexNearestWithinMatchesBruteForce(t *testing.T) {
+	c := randomCloud(300, 43)
+	idx := NewGridIndex(c, 1.5)
+	queries := []geom.Vec3{{X: 1, Y: 2, Z: 0}, {X: -30, Y: 45, Z: 2}, {X: 60, Y: 60, Z: 0}, {X: 500, Y: 500, Z: 0}}
+	for _, q := range queries {
+		for _, r := range []float64{0.5, 1.5, 4} {
+			gi, gd := idx.NearestWithin(q, r)
+			bi, bd := -1, math.Inf(1)
+			for i := 0; i < c.Len(); i++ {
+				if d := c.At(i).Pos().Dist(q); d < bd {
+					bd, bi = d, i
+				}
+			}
+			if bd <= r {
+				// The true nearest is in range: the bounded query must
+				// agree with the unbounded answer.
+				if gi != bi && math.Abs(gd-bd) > 1e-9 {
+					t.Errorf("NearestWithin(%v, %v) = (%d, %v), brute force (%d, %v)", q, r, gi, gd, bi, bd)
+				}
+			} else if gi >= 0 && gd <= r {
+				// Nothing lies within r; cell granularity may surface a
+				// slightly farther point but never one claiming d <= r.
+				t.Errorf("NearestWithin(%v, %v) = (%d, %v) inside an empty radius", q, r, gi, gd)
+			}
+		}
+	}
+}
+
+func TestGridIndexNearestWithinFarQueryReturnsNone(t *testing.T) {
+	c := randomCloud(300, 45)
+	idx := NewGridIndex(c, 1)
+	if i, d := idx.NearestWithin(geom.V3(1e6, 1e6, 1e6), 2); i != -1 || !math.IsInf(d, 1) {
+		t.Errorf("far NearestWithin = (%d, %v), want (-1, +Inf)", i, d)
+	}
+	if i, d := idx.NearestWithin(geom.V3(0, 0, 0), 0); i != -1 || !math.IsInf(d, 1) {
+		t.Errorf("zero-radius NearestWithin = (%d, %v), want (-1, +Inf)", i, d)
+	}
+}
+
 func TestGridIndexEmpty(t *testing.T) {
 	idx := NewGridIndex(&Cloud{}, 1)
 	if got := idx.Radius(geom.V3(0, 0, 0), 5); got != nil {

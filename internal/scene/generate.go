@@ -32,11 +32,27 @@ const (
 	// FamilyPlatoon is a single-file convoy where each vehicle occludes
 	// the next one's forward view.
 	FamilyPlatoon Family = "platoon"
+	// FamilyBlocked is a four-way crossing whose receiver arm is walled
+	// off by a stalled truck: the crossing traffic is fully NLOS to the
+	// receiver and only the fleet on the other arms sees it.
+	FamilyBlocked Family = "blocked"
+	// FamilyCanyon is a narrow street double-parked on both sides, vans
+	// hiding stopped cars in the gaps while oncoming traffic weaves
+	// through the single open lane.
+	FamilyCanyon Family = "canyon"
 )
 
-// Families returns every generated scenario family, in a fixed order.
-func Families() []Family {
+// BaseFamilies returns the original five generated families — the set
+// the fleet and episode sweep defaults are pinned to, so their goldens
+// do not move when a new family lands.
+func BaseFamilies() []Family {
 	return []Family{FamilyHighway, FamilyIntersection, FamilyRoundabout, FamilyParkingLot, FamilyPlatoon}
+}
+
+// Families returns every generated scenario family, in a fixed order:
+// the five base families plus the two NLOS-heavy degraded-world ones.
+func Families() []Family {
+	return append(BaseFamilies(), FamilyBlocked, FamilyCanyon)
 }
 
 // ParseFamily resolves a family name; ok is false for unknown names.
@@ -131,6 +147,10 @@ func Generate(p GenParams) (*Scenario, error) {
 		genParkingLot(sc, rng, mr, p)
 	case FamilyPlatoon:
 		genPlatoon(sc, rng, mr, p)
+	case FamilyBlocked:
+		genBlocked(sc, rng, mr, p)
+	case FamilyCanyon:
+		genCanyon(sc, rng, mr, p)
 	}
 
 	sc.PoseLabels = make([]string, len(sc.Poses))
@@ -419,4 +439,138 @@ func genPlatoon(sc *Scenario, rng, mr *rand.Rand, p GenParams) {
 			sc.SetObjectMotion(id, HeadingVelocity(8+3*mr.Float64(), math.Pi))
 		}
 	}
+}
+
+// genBlocked builds the blocked-intersection NLOS family: a four-way
+// crossing whose west arm — the receiver's — is walled off by a stalled
+// box truck right at the mouth, with corner buildings closing the rest
+// of the sightline. Every crossing car is non-line-of-sight to the
+// receiver; the fleet on the north and south arms sees them directly,
+// so cooperative recall here is almost pure NLOS gain — and because the
+// crossing traffic moves, that gain decays fast with staleness.
+func genBlocked(sc *Scenario, rng, mr *rand.Rand, p GenParams) {
+	sc.Dataset = DatasetTJ
+	sc.LiDAR = lidar.VLP16()
+	w := sc.Scene
+
+	// Corner buildings tight on the box.
+	for _, sx := range []float64{-1, 1} {
+		for _, sy := range []float64{-1, 1} {
+			w.AddBuilding(sx*14, sy*13, 14+jitter(rng, 2), 10+jitter(rng, 2), 6+2*rng.Float64(), 0)
+		}
+	}
+
+	// The wall: a stalled truck straddling the receiver's lane at the arm
+	// mouth, a second one double-parked across the oncoming lane. Between
+	// them the receiver's forward view is a few metres of truck side.
+	w.AddTruck(-9+jitter(rng, 0.8), -3, 0)
+	w.AddTruck(-7+jitter(rng, 0.8), 2.5, 0)
+
+	// Receiver creeping up the west arm behind the wall; the rest of the
+	// fleet closes on the box from the north and south arms, eyes on the
+	// crossing traffic. Deeper rings open once both arms are taken.
+	sc.Poses = append(sc.Poses, VehiclePose(-16+jitter(rng, 1), -3, 0))
+	sc.PoseMotions = append(sc.PoseMotions, HeadingVelocity(2+0.8*mr.Float64(), 0))
+	for i := 1; i < p.Fleet; i++ {
+		r := 12 + 7*float64((i-1)/2) + jitter(rng, 1.5)
+		if i%2 == 1 {
+			sc.Poses = append(sc.Poses, VehiclePose(2.5, -r, math.Pi/2))
+			sc.PoseMotions = append(sc.PoseMotions, HeadingVelocity(4+1.5*mr.Float64(), math.Pi/2))
+		} else {
+			sc.Poses = append(sc.Poses, VehiclePose(-2.5, r, -math.Pi/2))
+			sc.PoseMotions = append(sc.PoseMotions, HeadingVelocity(4+1.5*mr.Float64(), -math.Pi/2))
+		}
+	}
+
+	// Crossing traffic through the box — all of it hidden from the
+	// receiver, all of it moving — plus a stopped queue on the east arm
+	// that the buildings hide too.
+	n := traffic(p, 8)
+	for k := 0; k < n; k++ {
+		switch k % 3 {
+		case 0: // northbound through the box
+			id := w.AddCar(2.5+jitter(rng, 0.4), -10+float64(k)*4+jitter(rng, 1.5), math.Pi/2+jitter(rng, 0.05))
+			sc.SetObjectMotion(id, HeadingVelocity(5+2*mr.Float64(), math.Pi/2))
+		case 1: // southbound through the box
+			id := w.AddCar(-2.5+jitter(rng, 0.4), 12-float64(k)*4+jitter(rng, 1.5), -math.Pi/2+jitter(rng, 0.05))
+			sc.SetObjectMotion(id, HeadingVelocity(5+2*mr.Float64(), -math.Pi/2))
+		case 2: // queued on the east arm behind the far buildings
+			w.AddCar(12+float64(k)*3+jitter(rng, 1), -3+jitter(rng, 0.3), 0)
+		}
+	}
+	w.AddPedestrian(7+jitter(rng, 1), 7+jitter(rng, 1))
+	w.AddTree(-24+jitter(rng, 2), 10+jitter(rng, 2))
+	w.AddTree(20+jitter(rng, 2), -11+jitter(rng, 2))
+}
+
+// genCanyon builds the double-parked-canyon NLOS family: a narrow
+// building-walled street with delivery vans double-parked along both
+// kerbs. Stopped cars sit in the gaps between vans — each visible only
+// from the one stretch of lane that lines up with its gap — while
+// oncoming traffic weaves through the single open lane. The fleet is
+// strung along the lane, so fusing its staggered viewpoints is the only
+// way to see into every gap at once.
+func genCanyon(sc *Scenario, rng, mr *rand.Rand, p GenParams) {
+	sc.Dataset = DatasetTJ
+	sc.LiDAR = lidar.VLP16()
+	w := sc.Scene
+
+	// The fleet is strung the length of the street — each vehicle is the
+	// only one abreast of its own kerb gaps — staggered slightly off the
+	// lane axis so it does not self-occlude down the corridor.
+	gap := 12 + 2*rng.Float64()
+	for i := 0; i < p.Fleet; i++ {
+		lane := 0.8
+		if i%2 == 1 {
+			lane = -0.8
+		}
+		sc.Poses = append(sc.Poses, VehiclePose(float64(i)*gap+jitter(rng, 1), lane+jitter(rng, 0.3), 0))
+		sc.PoseMotions = append(sc.PoseMotions, HeadingVelocity(1.6+0.8*mr.Float64(), 0))
+	}
+	span := float64(p.Fleet)*gap + 16
+
+	// Canyon walls the full length of the street, set back a pavement's
+	// width so kerb cars do not blend into the facades.
+	w.AddBuilding(span/2-8, 12.5, span+24, 6, 7+2*rng.Float64(), 0)
+	w.AddBuilding(span/2-4, -12.5, span+24, 6, 8+2*rng.Float64(), 0)
+
+	// Double-parked vans (8.5 m boxes at 14 m pitch → 5.5 m kerb gaps),
+	// one side offset half a pitch from the other so the gaps alternate.
+	vans := int(span/16) + 1
+	for v := 0; v < vans; v++ {
+		w.AddTruck(4+float64(v)*16+jitter(rng, 0.5), 4.3+jitter(rng, 0.2), 0)
+		w.AddTruck(12+float64(v)*16+jitter(rng, 0.5), -4.3+jitter(rng, 0.2), 0)
+	}
+	// Kerb gaps sit every 8 m, alternating sides: even slots on the +y
+	// kerb (centres 12+16v), odd slots on the -y kerb (centres 20+16v).
+	gapSlots := (int(span)-18)/8 + 1
+	if gapSlots < 1 {
+		gapSlots = 1
+	}
+
+	// Hidden cars in the kerb gaps — each shielded by the vans flanking
+	// it, visible only from the short stretch of lane abreast of its gap,
+	// and always viewed side-on from the lane, which is the geometry the
+	// detector's anchor model resolves cleanly. Two of every three creep
+	// along the kerb easing out of their spots, so stale frames misplace
+	// them: the moving half of the NLOS story.
+	n := traffic(p, 8)
+	for k := 0; k < n; k++ {
+		slot := 0
+		if n > 1 {
+			slot = k * (gapSlots - 1) / (n - 1)
+		}
+		x := 12 + float64(slot)*8 + jitter(rng, 0.6)
+		side := 4.3 + jitter(rng, 0.2)
+		if slot%2 == 1 {
+			side = -side
+		}
+		id := w.AddCar(x, side, jitter(rng, 0.08))
+		if k%3 != 2 {
+			sc.SetObjectMotion(id, HeadingVelocity(1.2+0.9*mr.Float64(), 0))
+		}
+	}
+	w.AddPedestrian(9+jitter(rng, 1), 3+jitter(rng, 0.5))
+	w.AddTree(-12, 6+jitter(rng, 1))
+	w.AddTree(span-6, -6-jitter(rng, 1))
 }

@@ -1,0 +1,53 @@
+package scene
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the scene golden files")
+
+// TestFamilyGoldens locks the generated NLOS worlds byte for byte
+// against testdata/: the Fig. 17 degraded-world sweep and the lossy
+// episode tests all fuse on these two families, so a silent generator
+// drift would invalidate every downstream number at once. A legitimate
+// world change is re-blessed with
+//
+//	go test ./internal/scene -run TestFamilyGoldens -update
+func TestFamilyGoldens(t *testing.T) {
+	for _, fam := range []Family{FamilyBlocked, FamilyCanyon} {
+		t.Run(string(fam), func(t *testing.T) {
+			sc := mustGenerate(t, GenParams{Family: fam, Fleet: 3, Seed: 1})
+			got := render(sc) + "\n"
+			path := filepath.Join("testdata", "family_"+string(fam)+".golden")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (bless with -update): %v", err)
+			}
+			if string(want) != got {
+				t.Errorf("%s world drifted from golden:\n--- golden\n%s\n--- got\n%s", fam, want, got)
+			}
+		})
+	}
+}
+
+// TestFamilyGoldensCommitted guards against a blessed-but-forgotten
+// state: both NLOS goldens must be in testdata/.
+func TestFamilyGoldensCommitted(t *testing.T) {
+	for _, fam := range []Family{FamilyBlocked, FamilyCanyon} {
+		if _, err := os.Stat(filepath.Join("testdata", "family_"+string(fam)+".golden")); err != nil {
+			t.Errorf("%s: golden file missing (run -update and commit): %v", fam, err)
+		}
+	}
+}
