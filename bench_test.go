@@ -9,6 +9,7 @@
 package cooper_test
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"math"
@@ -28,6 +29,7 @@ import (
 	"cooper/internal/roi"
 	"cooper/internal/scene"
 	"cooper/internal/spod"
+	"cooper/internal/store"
 )
 
 // benchFigure runs one experiment generator end to end.
@@ -659,5 +661,164 @@ func BenchmarkIoUBEV(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		geom.IoUBEV(b1, b2)
+	}
+}
+
+// --- Episode store + telemetry (observability layer) ---
+//
+// The Store benchmarks are the observability-layer numbers: append and
+// parse throughput for the episode log, replay back through the live
+// fusion path, and — the acceptance bar — what instrumenting an episode
+// with telemetry plus a store sink costs against the bare run (<5% of
+// episode throughput). CI's store bench-smoke step runs these once and
+// records BENCH_store.json.
+
+// storeBenchLog records one platoon episode into memory and returns the
+// raw log bytes; the read/replay benchmarks parse and re-fuse it.
+func storeBenchLog(b *testing.B) []byte {
+	b.Helper()
+	sc, err := cooper.GenerateScenario(cooper.GenParams{Family: "platoon", Fleet: 3, Seed: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	ew, err := cooper.NewEpisodeLog(&buf, cooper.EpisodeHeader{
+		Label: "bench", Scenario: sc.Name, Seed: sc.Seed, Frames: 4, Hz: 4, Backend: "raw",
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := cooper.NewEpisodeLab(sc).Run(cooper.EpisodeOptions{Frames: 4, Hz: 4, Sink: ew}); err != nil {
+		b.Fatal(err)
+	}
+	if err := ew.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// BenchmarkStoreAppendRound measures raw log append throughput: one
+// representative cooperative round (lossless own cloud + two quantized
+// sender payloads) written per iteration, CRC and framing included.
+func BenchmarkStoreAppendRound(b *testing.B) {
+	own, remote := scanPair(scene.TJScenarios()[0])
+	payload, err := pointcloud.EncodeQuantized(remote)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := spod.DefaultConfig()
+	round := store.Round{
+		Frame: 1, Receiver: "v1", Own: own,
+		FOVTop: cfg.VerticalFOVTop, MaxRange: cfg.MaxDetectionRange,
+		LatencyUS: 120_000, PayloadBytes: 2 * int64(len(payload)),
+		Payloads: []store.RoundPayload{
+			{Sender: "v2", Data: payload},
+			{Sender: "v3", Data: payload},
+		},
+	}
+	ew, err := cooper.NewEpisodeLog(io.Discard, cooper.EpisodeHeader{Label: "bench"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(store.EncodeRound(round))))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		round.Frame = i
+		if err := ew.WriteRound(round); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreReadEpisode parses a full recorded episode (header, CRC
+// checks, record decode) from memory.
+func BenchmarkStoreReadEpisode(b *testing.B) {
+	raw := storeBenchLog(b)
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ep, err := store.ReadEpisode(bytes.NewReader(raw))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !ep.Complete {
+			b.Fatal("episode truncated")
+		}
+	}
+}
+
+// BenchmarkStoreReplayEpisode re-fuses and re-detects every stored round
+// and verifies the recorded detections byte for byte — the full
+// regression-replay path behind `coopersim -replay` and the hub's
+// /episodes endpoint.
+func BenchmarkStoreReplayEpisode(b *testing.B) {
+	ep, err := store.ReadEpisode(bytes.NewReader(storeBenchLog(b)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, stats, err := cooper.ReplayEpisodeLog(ep)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !stats.Identical() {
+			b.Fatalf("replay diverged: %v", stats)
+		}
+	}
+}
+
+// benchStoreEpisode plays the same episode bare or fully instrumented
+// (telemetry registry + store sink); comparing the pair's ns/op bounds
+// the observability overhead.
+func benchStoreEpisode(b *testing.B, instrumented bool) {
+	b.Helper()
+	sc, err := cooper.GenerateScenario(cooper.GenParams{Family: "platoon", Fleet: 3, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	lab := cooper.NewEpisodeLab(sc) // captures amortise across iterations
+	opts := cooper.EpisodeOptions{Frames: 4, Hz: 2}
+	if _, err := lab.Run(opts); err != nil { // warm the capture cache
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if instrumented {
+			opts.Metrics = cooper.NewMetrics()
+			ew, err := cooper.NewEpisodeLog(io.Discard, cooper.EpisodeHeader{Label: "bench"})
+			if err != nil {
+				b.Fatal(err)
+			}
+			opts.Sink = ew
+		}
+		if _, err := lab.Run(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStoreEpisodeBare(b *testing.B)         { benchStoreEpisode(b, false) }
+func BenchmarkStoreEpisodeInstrumented(b *testing.B) { benchStoreEpisode(b, true) }
+
+// BenchmarkStoreSnapshotJSON isolates the telemetry capture itself:
+// snapshotting a hub-sized registry and rendering it as JSON.
+func BenchmarkStoreSnapshotJSON(b *testing.B) {
+	reg := cooper.NewMetrics()
+	for i := 0; i < 12; i++ {
+		reg.Counter(fmt.Sprintf("bench_counter_%d_total", i)).Add(int64(i) * 17)
+	}
+	reg.Gauge("bench_vehicles_cached").Set(32)
+	h := reg.Histogram("bench_latency_us", 1000, 10_000, 100_000, 1_000_000)
+	for i := 0; i < 4096; i++ {
+		h.Observe(int64(i) * 997)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := reg.Snapshot().WriteJSON(io.Discard); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -25,6 +25,14 @@
 // every vehicle's reported pose off truth by up to M metres:
 //
 //	coopernode -selftest 3 -seed 5 -frames 4 -loss 0.4 -drift 0.6
+//
+// Both the hub and the selftest can expose the observability surface:
+// -http ADDR serves live stats, Prometheus metrics, pprof and episode
+// replay over HTTP; -store PATH records a replayable episode log
+// (selftest) or names the episode directory served at /episodes (hub);
+// -linger D keeps the selftest's hub and API up after the report:
+//
+//	coopernode -selftest 3 -seed 5 -http 127.0.0.1:8777 -store /tmp/run.ceplog -linger 30s
 package main
 
 import (
@@ -38,6 +46,8 @@ import (
 	"cooper/internal/hub"
 	"cooper/internal/network"
 	"cooper/internal/scene"
+	"cooper/internal/store"
+	"cooper/internal/telemetry"
 )
 
 // defaultScenario is the -scenario flag default, the 1:1 demo scenario.
@@ -70,6 +80,9 @@ func run() error {
 	wire := flag.String("wire", "v2", "publish wire for -selftest and -join: v2 (self-contained quantized frames) or v3 (CPD1 delta stream)")
 	loss := flag.Float64("loss", 0, "selftest: publish loss rate in [0,1) — seeded drops on the hub ingress")
 	drift := flag.Float64("drift", 0, "selftest: per-vehicle pose-walk bound in metres on every reported state")
+	httpAddr := flag.String("http", "", "serve the stats/replay API on this address (selftest and hub modes)")
+	storePath := flag.String("store", "", "selftest: record a replayable episode log to this file; hub: episode directory served at /episodes")
+	linger := flag.Duration("linger", 0, "selftest: keep the hub (and -http API) alive this long after the report")
 	flag.Parse()
 
 	backend, err := fusion.ParseBackend(*backendName)
@@ -104,13 +117,39 @@ func run() error {
 			Backend:       backend,
 			Wire:          *wire,
 			Drift:         *drift,
+			Metrics:       telemetry.New(),
+			HTTPAddr:      *httpAddr,
+			Linger:        *linger,
 		}
 		if *loss > 0 {
 			opts.Loss = network.DefaultLoss(*loss, *seed)
 		}
+		if *storePath != "" {
+			headerFamily := family
+			if headerFamily == "" {
+				headerFamily = string(scene.FamilyPlatoon) // hub.SelfTest's default
+			}
+			ew, err := store.CreateEpisode(*storePath, store.Header{
+				Label: "selftest", Scenario: headerFamily, Seed: *seed,
+				Frames: *frames, Hz: *hz, Backend: backend.Name(), Wire: *wire,
+			})
+			if err != nil {
+				return err
+			}
+			opts.Store = ew
+			if err := hub.SelfTest(os.Stdout, opts); err != nil {
+				ew.Close()
+				return err
+			}
+			if err := ew.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("episode log: %s (%d records)\n", *storePath, ew.Records())
+			return nil
+		}
 		return hub.SelfTest(os.Stdout, opts)
 	case *hubAddr != "":
-		return runHub(*hubAddr)
+		return runHub(*hubAddr, *httpAddr, *storePath)
 	case *join != "":
 		sc, err := resolve(*scenarioName, *fleet, *seed, *traffic)
 		if err != nil {
@@ -182,15 +221,32 @@ func makeVehicle(sc *scene.Scenario, pose int) (*core.Vehicle, error) {
 	return v, nil
 }
 
-// runHub serves the fleet hub until interrupted.
-func runHub(addr string) error {
+// runHub serves the fleet hub until interrupted, with the stats API and
+// episode-replay surface attached when configured.
+func runHub(addr, httpAddr, storeDir string) error {
 	l, err := network.Listen(addr)
 	if err != nil {
 		return err
 	}
-	h := hub.New(hub.Config{Logf: func(format string, args ...any) {
-		fmt.Printf("hub: "+format+"\n", args...)
-	}})
+	cfg := hub.Config{
+		Logf: func(format string, args ...any) {
+			fmt.Printf("hub: "+format+"\n", args...)
+		},
+		Metrics:  telemetry.New(),
+		HTTPAddr: httpAddr,
+	}
+	if storeDir != "" {
+		d, err := store.OpenDir(storeDir)
+		if err != nil {
+			return err
+		}
+		cfg.Episodes = d
+	}
+	h := hub.New(cfg)
+	if _, err := h.StartHTTP(); err != nil {
+		l.Close()
+		return err
+	}
 	fmt.Printf("fleet hub listening on %s\n", l.Addr())
 	return h.Serve(l)
 }

@@ -30,6 +30,15 @@
 //
 //	coopersim -scenario intersection -fleet 3 -frames 10 -hz 2 -loss 0.3 -drift 1.0 -icp
 //
+// Episodes can be persisted and audited: -store FILE appends every
+// broadcast, fusion round, detection set and track state to a
+// replayable binary log, and -replay FILE pushes a stored log back
+// through the live fusion path, verifying that every round reproduces
+// its recorded detections byte for byte (a divergence exits nonzero):
+//
+//	coopersim -scenario platoon -fleet 3 -frames 10 -compensate=false -store run.ceplog
+//	coopersim -replay run.ceplog
+//
 // Output is deterministic for a given seed at any -workers value;
 // wall-clock stage times are printed only with -times.
 package main
@@ -47,6 +56,7 @@ import (
 	"cooper/internal/fusion"
 	"cooper/internal/network"
 	"cooper/internal/scene"
+	"cooper/internal/store"
 )
 
 func main() {
@@ -87,7 +97,13 @@ func run() error {
 	backendName := flag.String("backend", "raw", "fusion backend: raw (point clouds) or feature (F-Cooper sparse planes)")
 	budget := flag.Int("budget", 0, "per-sender payload cap in bytes, fitted via the backend's ROI ladder (0 = uncapped)")
 	wire := flag.String("wire", "v2", "episode broadcast wire: v2 (self-contained quantized frames) or v3 (CPD1 delta stream; needs -compensate=false)")
+	storePath := flag.String("store", "", "episode: record a replayable log of every round to this file")
+	replayPath := flag.String("replay", "", "replay a stored episode log through the live fusion path and verify it byte for byte")
 	flag.Parse()
+
+	if *replayPath != "" {
+		return runReplay(*replayPath)
+	}
 
 	if *list {
 		for _, sc := range scene.AllScenarios() {
@@ -125,10 +141,13 @@ func run() error {
 			return fmt.Errorf("-loss %g out of range [0,1)", *loss)
 		}
 		return runEpisode(target, *frames, *hz, *delay, *compensate, *workers, backend, *wire,
-			*loss, *seed, driftM, *icp)
+			*loss, *seed, driftM, *icp, *storePath)
 	}
 	if *loss != 0 {
 		return fmt.Errorf("-loss applies to episodes; add -frames N")
+	}
+	if *storePath != "" {
+		return fmt.Errorf("-store records episodes; add -frames N")
 	}
 	if *wire != "" && *wire != "v2" {
 		return fmt.Errorf("-wire %s applies to episodes; add -frames N", *wire)
@@ -178,7 +197,7 @@ func run() error {
 
 // runEpisode plays and prints a dynamic multi-frame episode, optionally
 // degraded by seeded channel loss and localization drift.
-func runEpisode(target *scene.Scenario, frames int, hz float64, delay time.Duration, compensate bool, workers int, backend fusion.Backend, wire string, loss float64, seed int64, driftM float64, correct bool) error {
+func runEpisode(target *scene.Scenario, frames int, hz float64, delay time.Duration, compensate bool, workers int, backend fusion.Backend, wire string, loss float64, seed int64, driftM float64, correct bool, storePath string) error {
 	opts := core.EpisodeOptions{
 		Frames: frames, Hz: hz, Delay: delay, Compensate: compensate, Workers: workers, Backend: backend,
 		Wire: wire, Drift: driftM, Correct: correct,
@@ -186,9 +205,30 @@ func runEpisode(target *scene.Scenario, frames int, hz float64, delay time.Durat
 	if loss > 0 {
 		opts.Loss = network.DefaultLoss(loss, seed)
 	}
+	var sink *store.EpisodeWriter
+	if storePath != "" {
+		var err error
+		sink, err = store.CreateEpisode(storePath, store.Header{
+			Label: "episode", Scenario: target.Name, Seed: seed,
+			Frames: frames, Hz: hz, Backend: backend.Name(), UseICP: correct, Wire: wire,
+		})
+		if err != nil {
+			return err
+		}
+		opts.Sink = sink
+	}
 	res, err := core.RunEpisode(target, opts)
 	if err != nil {
+		if sink != nil {
+			sink.Close()
+		}
 		return err
+	}
+	if sink != nil {
+		if err := sink.Close(); err != nil {
+			return err
+		}
+		defer fmt.Printf("episode log: %s (%d records)\n", storePath, sink.Records())
 	}
 
 	comp := "on"
@@ -277,6 +317,39 @@ func printCase(target *scene.Scenario, o *core.CaseOutcome, sched network.Schedu
 		fmt.Printf("  detection time: %v / %v / %v\n",
 			o.StatsI.Total.Round(1e6), o.StatsJ.Total.Round(1e6), o.StatsCoop.Total.Round(1e6))
 	}
+}
+
+// runReplay decodes a stored episode log and pushes every round back
+// through the live fusion path, verifying each against its recorded
+// detections byte for byte. A divergence is an error: either the log is
+// damaged or the fusion path changed since the episode was recorded.
+func runReplay(path string) error {
+	ep, err := store.ReadEpisodeFile(path)
+	if err != nil {
+		return err
+	}
+	h := ep.Header
+	wire := h.Wire
+	if wire == "" {
+		wire = "v2"
+	}
+	complete := "complete"
+	if !ep.Complete {
+		complete = "truncated"
+	}
+	fmt.Printf("episode %q: scenario %q, seed %d, backend %s, wire %s — %d broadcast(s), %d round(s), %d detection set(s), %d track set(s), %s\n",
+		h.Label, h.Scenario, h.Seed, h.Backend, wire,
+		len(ep.Frames), len(ep.Rounds), len(ep.Detections), len(ep.Tracks), complete)
+	_, stats, err := store.ReplayEpisode(ep)
+	if err != nil {
+		return err
+	}
+	fmt.Println(stats)
+	if !stats.Identical() {
+		return fmt.Errorf("replay diverged from the recorded detections")
+	}
+	fmt.Println("replay byte-identical: the stored episode reproduces exactly")
+	return nil
 }
 
 func cells(o *core.CaseOutcome, col int) []eval.Cell {

@@ -36,6 +36,8 @@
 package cooper
 
 import (
+	"io"
+
 	"cooper/internal/core"
 	"cooper/internal/eval"
 	"cooper/internal/fusion"
@@ -46,6 +48,8 @@ import (
 	"cooper/internal/pointcloud"
 	"cooper/internal/scene"
 	"cooper/internal/spod"
+	"cooper/internal/store"
+	"cooper/internal/telemetry"
 	"cooper/internal/track"
 )
 
@@ -323,3 +327,62 @@ func DecodeFeatureFrame(data []byte) (*FeatureFrame, error) { return spod.Decode
 // IsFeaturePayload reports whether wire bytes carry a CPF3 feature frame
 // rather than a quantized point cloud.
 func IsFeaturePayload(data []byte) bool { return spod.IsFeaturePayload(data) }
+
+// Observability: deterministic telemetry counters and the persistent
+// episode store. Metric values derive from sim-time and byte counts only
+// (wall-clock lives solely in the snapshot envelope), and the episode
+// log carries no timestamps at all — identical runs produce identical
+// snapshots and identical logs at any worker count.
+type (
+	// MetricsRegistry is a registry of named counters, gauges and
+	// fixed-bucket histograms. A nil registry is the disabled registry:
+	// its handles are no-ops, so hot paths instrument unconditionally.
+	MetricsRegistry = telemetry.Registry
+	// MetricsSnapshot is a point-in-time capture of a registry,
+	// renderable as JSON or Prometheus text. MaskEnvelope strips the
+	// wall-clock envelope for byte-exact diffing.
+	MetricsSnapshot = telemetry.Snapshot
+	// MetricsSeries is an FTDC-style delta-compressed snapshot series
+	// for long soak runs.
+	MetricsSeries = telemetry.Series
+	// EpisodeHeader opens an episode log: what ran, under which knobs.
+	EpisodeHeader = store.Header
+	// EpisodeWriter appends typed records (frames, rounds, detections,
+	// tracks) to an episode log; safe for concurrent producers.
+	EpisodeWriter = store.EpisodeWriter
+	// StoredEpisode is a fully parsed episode log.
+	StoredEpisode = store.Episode
+	// StoredDetections is one frame's fused detections as recorded.
+	StoredDetections = store.Detections
+	// EpisodeDir is a directory of named episode logs (the hub's
+	// replay-over-HTTP source).
+	EpisodeDir = store.Dir
+	// EpisodeReplayStats summarises a replay verification: how many
+	// stored rounds reproduced their recorded detections byte for byte.
+	EpisodeReplayStats = store.ReplayStats
+)
+
+// NewMetrics returns an empty telemetry registry.
+func NewMetrics() *MetricsRegistry { return telemetry.New() }
+
+// CreateEpisodeLog creates an episode log file and writes its header.
+func CreateEpisodeLog(path string, h EpisodeHeader) (*EpisodeWriter, error) {
+	return store.CreateEpisode(path, h)
+}
+
+// NewEpisodeLog starts an episode log on an arbitrary writer.
+func NewEpisodeLog(w io.Writer, h EpisodeHeader) (*EpisodeWriter, error) {
+	return store.NewEpisodeWriter(w, h)
+}
+
+// ReadEpisodeLog parses a stored episode log from disk.
+func ReadEpisodeLog(path string) (*StoredEpisode, error) { return store.ReadEpisodeFile(path) }
+
+// ReplayEpisodeLog pushes a stored episode back through the live fusion
+// path and verifies every round against its recorded detections.
+func ReplayEpisodeLog(ep *StoredEpisode) ([]StoredDetections, EpisodeReplayStats, error) {
+	return store.ReplayEpisode(ep)
+}
+
+// OpenEpisodeDir opens (creating if needed) a directory of episode logs.
+func OpenEpisodeDir(path string) (*EpisodeDir, error) { return store.OpenDir(path) }

@@ -16,6 +16,8 @@ import (
 	"cooper/internal/scene"
 	"cooper/internal/sim"
 	"cooper/internal/spod"
+	"cooper/internal/store"
+	"cooper/internal/telemetry"
 	"cooper/internal/track"
 )
 
@@ -70,6 +72,17 @@ type EpisodeOptions struct {
 	// round — fusion.RawBackend's in-loop refinement — recovering what
 	// drift miscalibrates. Requires the raw backend.
 	Correct bool
+	// Metrics, when non-nil, receives the episode's telemetry: frame and
+	// payload counters plus latency/staleness/ICP histograms. Every value
+	// derives from sim time and byte counts, so two identical episodes
+	// produce identical metrics regardless of Workers or wall-clock.
+	Metrics *telemetry.Registry
+	// Sink, when non-nil, records the episode as a replayable store log:
+	// sender broadcasts, per-frame fusion rounds (receiver cloud, wire
+	// payloads, the MaxDist override), fused detections and track states.
+	// The caller owns the writer (and wrote its header); Run appends the
+	// records in timeline order and never closes it.
+	Sink *store.EpisodeWriter
 }
 
 // backend resolves the episode's fusion backend.
@@ -162,6 +175,14 @@ func (r *EpisodeResult) mean(of func(EpisodeFrame) float64) float64 {
 func episodeScheduler(hz float64, delay time.Duration) network.Scheduler {
 	return network.Scheduler{Channel: network.HighRateDSRC(), RateHz: hz, ExtraDelay: delay}
 }
+
+// episodeLatencyBuckets bound the episode latency and staleness
+// histograms, in microseconds of sim time.
+var episodeLatencyBuckets = []int64{1000, 5000, 10000, 25000, 50000, 100000, 250000, 500000, 1000000, 5000000}
+
+// episodeICPBuckets bound the ICP-correction histogram, in micrometres
+// of residual translation (0.1 mm up to 1 m).
+var episodeICPBuckets = []int64{100, 1000, 10000, 100000, 1000000}
 
 // labKey identifies one capture: a pose sensed at an episode timestamp.
 type labKey struct {
@@ -277,6 +298,15 @@ func (l *EpisodeLab) payloadFor(e *labEntry, backend fusion.Backend, det *spod.D
 		e.featPayload, e.featErr = p.Data, err
 	})
 	return e.featPayload, e.featErr
+}
+
+// poseLabel names a pose for store records: the scenario's label when it
+// has one, a positional fallback otherwise.
+func (l *EpisodeLab) poseLabel(i int) string {
+	if i >= 0 && i < len(l.sc.PoseLabels) {
+		return l.sc.PoseLabels[i]
+	}
+	return fmt.Sprintf("p%d", i)
 }
 
 // stateAt builds the GPS/IMU state a vehicle at the given world pose
@@ -421,8 +451,9 @@ func (l *EpisodeLab) Run(opts EpisodeOptions) (*EpisodeResult, error) {
 	// byte-identical to the canonical capture encode the fusion phase
 	// consumes: v3 changes payload sizes (and therefore the delivery
 	// timeline), never the fused bytes.
-	var v3sizes [][]int // [frame][sender slot] broadcast bytes
-	var v3key [][]int   // [sender slot][frame] → keyframe the delta decodes from
+	var v3sizes [][]int   // [frame][sender slot] broadcast bytes
+	var v3key [][]int     // [sender slot][frame] → keyframe the delta decodes from
+	var v3wire [][][]byte // [sender slot][frame] wire bytes, kept only for the store
 	if wireV3 {
 		v3sizes = make([][]int, opts.Frames)
 		for k := range v3sizes {
@@ -431,6 +462,12 @@ func (l *EpisodeLab) Run(opts EpisodeOptions) (*EpisodeResult, error) {
 		v3key = make([][]int, len(senders))
 		for si := range v3key {
 			v3key[si] = make([]int, opts.Frames)
+		}
+		if opts.Sink != nil {
+			v3wire = make([][][]byte, len(senders))
+			for si := range v3wire {
+				v3wire[si] = make([][]byte, opts.Frames)
+			}
 		}
 		if err := parallel.ForErr(opts.Workers, len(senders), func(si int) error {
 			enc := pointcloud.DeltaEncoder{Interval: opts.KeyframeInterval}
@@ -459,6 +496,9 @@ func (l *EpisodeLab) Run(opts EpisodeOptions) (*EpisodeResult, error) {
 					return fmt.Errorf("core: pose %d frame %d: delta reconstruction diverged from the canonical encode", senders[si], k)
 				}
 				v3sizes[k][si] = len(data)
+				if v3wire != nil {
+					v3wire[si][k] = append([]byte(nil), data...)
+				}
 			}
 			return nil
 		}); err != nil {
@@ -575,7 +615,11 @@ func (l *EpisodeLab) Run(opts EpisodeOptions) (*EpisodeResult, error) {
 		frame     EpisodeFrame
 		assoc     TruthAssoc
 		worldDets []spod.Detection
+		dets      []spod.Detection // fused (or warm-up single) detections
+		icp       []float64        // ICP correction residuals, metres
+		round     store.Round      // populated when opts.Sink != nil
 	}
+	detCfg := l.detectorConfig()
 	scratches := spod.NewScratches(parallel.WorkerCount(opts.Workers, opts.Frames))
 	evals, err := parallel.MapErrWorker(opts.Workers, opts.Frames, func(w, k int) (frameEval, error) {
 		scratch := scratches[w]
@@ -604,6 +648,13 @@ func (l *EpisodeLab) Run(opts EpisodeOptions) (*EpisodeResult, error) {
 			fe.assoc = EvaluateDetectionsAssoc(snapEval, receiver, nil, singles)
 			fe.frame.Single = fe.assoc.Stats
 			fe.frame.Coop = fe.assoc.Stats
+			if opts.Sink != nil {
+				fe.round = store.Round{
+					Frame: k, Receiver: l.poseLabel(receiver), State: recvState,
+					Own: ownCloud, Warmup: true,
+					FOVTop: detCfg.VerticalFOVTop, MaxRange: detCfg.MaxDetectionRange,
+				}
+			}
 		} else {
 			fe.frame.Single = EvaluateDetections(snapEval, receiver, nil, singles)
 			fe.frame.RoundLatency = plans[newest].Ready()
@@ -645,7 +696,7 @@ func (l *EpisodeLab) Run(opts EpisodeOptions) (*EpisodeResult, error) {
 				} else {
 					fe.frame.PayloadBytes += len(payload)
 				}
-				payloads = append(payloads, fusion.Payload{State: stateFor(cap.pose, s, j), Data: payload})
+				payloads = append(payloads, fusion.Payload{SenderID: l.poseLabel(s), State: stateFor(cap.pose, s, j), Data: payload})
 				if d := cap.pose.T.DistXY(own.pose.T); d > deltaD {
 					deltaD = d
 				}
@@ -660,8 +711,26 @@ func (l *EpisodeLab) Run(opts EpisodeOptions) (*EpisodeResult, error) {
 			coopDets, _ = in.Detect(l.detectorConfig(), scratch)
 			fe.assoc = EvaluateDetectionsAssoc(snapEval, receiver, participants, coopDets)
 			fe.frame.Coop = fe.assoc.Stats
+			fe.icp = in.ICPCorrections
+			if opts.Sink != nil {
+				rp := make([]store.RoundPayload, len(payloads))
+				for i, p := range payloads {
+					rp[i] = store.RoundPayload{Sender: p.SenderID, State: p.State, Data: p.Data}
+				}
+				fe.round = store.Round{
+					Frame: k, Receiver: l.poseLabel(receiver), State: recvState,
+					Own: ownCloud, OverrideMaxDist: true, MaxDist: deltaD,
+					FOVTop: detCfg.VerticalFOVTop, MaxRange: detCfg.MaxDetectionRange,
+					LatencyUS:    fe.frame.RoundLatency.Microseconds(),
+					StalenessUS:  fe.frame.Staleness.Microseconds(),
+					PayloadBytes: int64(fe.frame.PayloadBytes),
+					Lost:         fe.frame.Lost,
+					Payloads:     rp,
+				}
+			}
 		}
 
+		fe.dets = coopDets
 		fe.worldDets = WorldDetections(coopDets, own.pose, sc.LiDAR.MountHeight)
 		return fe, nil
 	})
@@ -671,17 +740,89 @@ func (l *EpisodeLab) Run(opts EpisodeOptions) (*EpisodeResult, error) {
 
 	// Phase 4 — the track layer is sequential by nature: frames feed the
 	// tracker in timeline order, and the truth ↔ track join yields the
-	// temporal metrics.
+	// temporal metrics. Store records and telemetry are emitted from the
+	// same loop — the one place the episode is already in timeline order.
+	// Every metric value derives from sim time and byte counts, and the
+	// telemetry handles are nil-safe, so an unmetered run skips nothing.
+	m := opts.Metrics
+	mFrames := m.Counter("episode_frames_total")
+	mWarmups := m.Counter("episode_warmup_frames_total")
+	mPayload := m.Counter("episode_payload_bytes_total")
+	mFused := m.Counter("episode_fused_senders_total")
+	mLost := m.Counter("episode_lost_senders_total")
+	mDets := m.Counter("episode_detections_total")
+	mLatency := m.Histogram("episode_round_latency_us", episodeLatencyBuckets...)
+	mStale := m.Histogram("episode_staleness_us", episodeLatencyBuckets...)
+	mICP := m.Histogram("episode_icp_correction_um", episodeICPBuckets...)
+
 	tracker := track.New(track.DefaultConfig())
 	res := &EpisodeResult{Scenario: sc, Case: c}
 	assocFrames := make([]eval.FrameAssoc, 0, opts.Frames)
-	for _, fe := range evals {
+	for k, fe := range evals {
 		ids := tracker.Step(fe.frame.At, fe.worldDets)
 		assocFrames = append(assocFrames, fe.assoc.FrameAssoc(ids))
 		res.Frames = append(res.Frames, fe.frame)
+
+		mFrames.Add(1)
+		if fe.frame.SenderFrame < 0 {
+			mWarmups.Add(1)
+		} else {
+			mLatency.Observe(fe.frame.RoundLatency.Microseconds())
+			mStale.Observe(fe.frame.Staleness.Microseconds())
+			mFused.Add(int64(fe.frame.Senders))
+			mLost.Add(int64(fe.frame.Lost))
+			mPayload.Add(int64(fe.frame.PayloadBytes))
+		}
+		mDets.Add(int64(len(fe.dets)))
+		for _, corr := range fe.icp {
+			mICP.Observe(int64(corr * 1e6))
+		}
+
+		if opts.Sink != nil {
+			// Sender broadcasts first, then the receiver's round, its
+			// fused detections and the track states — the order a live
+			// frame happens in. Frame payloads are the wire bytes (the
+			// delta stream on v3, the capture encode otherwise); the
+			// round's payloads are the exact bytes fusion consumed, so
+			// replay stays byte-identical even when compensation
+			// re-encoded per receiving frame.
+			for si, s := range senders {
+				e := l.capture(s, fe.frame.At)
+				wire := e.payload
+				if wireV3 {
+					wire = v3wire[si][k]
+				} else if !rawBackend {
+					var err error
+					if wire, err = l.payloadFor(e, backend, det, stateFor(e.pose, s, k), nil); err != nil {
+						return nil, err
+					}
+				}
+				if err := opts.Sink.WriteFrame(store.Frame{
+					Frame: k, Sender: l.poseLabel(s), Seq: uint64(k + 1),
+					State: stateFor(e.pose, s, k), Payload: wire,
+				}); err != nil {
+					return nil, err
+				}
+			}
+			if err := opts.Sink.WriteRound(fe.round); err != nil {
+				return nil, err
+			}
+			if err := opts.Sink.WriteDetections(store.Detections{Frame: k, Receiver: fe.round.Receiver, Dets: fe.dets}); err != nil {
+				return nil, err
+			}
+			live := tracker.Tracks()
+			ts := make([]store.TrackState, len(live))
+			for j, tr := range live {
+				ts[j] = store.TrackState{ID: tr.ID, Box: tr.Box, VelX: tr.Vel.X, VelY: tr.Vel.Y, Hits: tr.Hits, Misses: tr.Misses}
+			}
+			if err := opts.Sink.WriteTracks(store.Tracks{Frame: k, Receiver: fe.round.Receiver, Tracks: ts}); err != nil {
+				return nil, err
+			}
+		}
 	}
 	res.Temporal = eval.Temporal(assocFrames)
 	res.Tracks = len(tracker.Tracks())
+	m.Gauge("episode_tracks_live").Set(int64(res.Tracks))
 	return res, nil
 }
 

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"cooper/internal/scene"
+	"cooper/internal/store"
+	"cooper/internal/telemetry"
+)
+
+// recordEpisode runs one small platoon episode into an in-memory store
+// log and returns the log bytes plus the run's telemetry registry.
+func recordEpisode(t *testing.T, workers int, opts EpisodeOptions) ([]byte, *telemetry.Registry) {
+	t.Helper()
+	sc, err := scene.Generate(scene.GenParams{Family: scene.FamilyPlatoon, Fleet: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	ew, err := store.NewEpisodeWriter(&buf, store.Header{
+		Label: "test", Scenario: sc.Name, Seed: sc.Seed,
+		Frames: opts.Frames, Hz: opts.Hz, Backend: opts.backend().Name(), Wire: opts.Wire,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.New()
+	opts.Workers = workers
+	opts.Metrics = reg
+	opts.Sink = ew
+	if _, err := NewEpisodeLab(sc).Run(opts); err != nil {
+		t.Fatal(err)
+	}
+	if err := ew.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), reg
+}
+
+// TestEpisodeStoreReplay records an episode and replays the stored log
+// through the live fusion path: every round must reproduce its recorded
+// detections byte for byte.
+func TestEpisodeStoreReplay(t *testing.T) {
+	raw, _ := recordEpisode(t, 1, EpisodeOptions{Frames: 4, Hz: 4})
+	ep, err := store.ReadEpisode(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ep.Complete || len(ep.Rounds) != 4 || len(ep.Detections) != 4 || len(ep.Tracks) != 4 {
+		t.Fatalf("episode: complete=%v rounds=%d dets=%d tracks=%d",
+			ep.Complete, len(ep.Rounds), len(ep.Detections), len(ep.Tracks))
+	}
+	// 2 senders × 4 frames of broadcast payloads.
+	if len(ep.Frames) != 8 {
+		t.Fatalf("frames: %d, want 8", len(ep.Frames))
+	}
+	_, stats, err := store.ReplayEpisode(ep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Identical() {
+		t.Fatalf("replay diverged: %v", stats)
+	}
+}
+
+// TestEpisodeStoreDeterminism runs the same recorded episode at worker
+// counts 1 and N: the store logs must be byte-identical and the
+// telemetry snapshots identical once the wall-clock envelope is masked.
+func TestEpisodeStoreDeterminism(t *testing.T) {
+	opts := EpisodeOptions{Frames: 3, Hz: 4, Wire: "v3"}
+	seqLog, seqReg := recordEpisode(t, 1, opts)
+	parLog, parReg := recordEpisode(t, 4, opts)
+	if !bytes.Equal(seqLog, parLog) {
+		t.Fatal("store log differs between worker counts")
+	}
+	var seqJSON, parJSON bytes.Buffer
+	seqReg.Snapshot().MaskEnvelope().WriteJSON(&seqJSON)
+	parReg.Snapshot().MaskEnvelope().WriteJSON(&parJSON)
+	if seqJSON.String() != parJSON.String() {
+		t.Fatalf("telemetry differs between worker counts:\n%s\n---\n%s", seqJSON.String(), parJSON.String())
+	}
+}
+
+// TestEpisodeTelemetry spot-checks the emitted counters against the
+// frames the run reported.
+func TestEpisodeTelemetry(t *testing.T) {
+	_, reg := recordEpisode(t, 1, EpisodeOptions{Frames: 4, Hz: 4})
+	if got := reg.Counter("episode_frames_total").Value(); got != 4 {
+		t.Fatalf("episode_frames_total = %d, want 4", got)
+	}
+	warm := reg.Counter("episode_warmup_frames_total").Value()
+	if warm < 1 || warm >= 4 {
+		t.Fatalf("episode_warmup_frames_total = %d, want within [1,4)", warm)
+	}
+	if got := reg.Counter("episode_payload_bytes_total").Value(); got <= 0 {
+		t.Fatalf("episode_payload_bytes_total = %d, want > 0", got)
+	}
+	if got := reg.Counter("episode_fused_senders_total").Value(); got != 2*(4-warm) {
+		t.Fatalf("episode_fused_senders_total = %d, want %d", got, 2*(4-warm))
+	}
+}

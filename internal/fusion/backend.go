@@ -99,6 +99,12 @@ type FusedInput struct {
 	// states; callers with better knowledge (the scenario runner knows
 	// the true inter-vehicle distance) may override it before Detect.
 	MaxDist float64
+	// ICPCorrections reports, per ICP-refined raw payload in payload
+	// order, the magnitude in metres of the residual translation the
+	// refinement applied on top of GPS/IMU alignment — the observable
+	// telemetry uses to watch localization drift being corrected. Empty
+	// when ICP is off or every payload was feature-level.
+	ICPCorrections []float64
 }
 
 // Detect runs the appropriate cooperative detector configuration over
@@ -173,6 +179,7 @@ func (b RawBackend) Fuse(receiver SensorFrame, payloads []Payload) (*FusedInput,
 		if b.UseICP {
 			corr := RefineAlignment(receiver.Cloud, al, DefaultICPConfig())
 			al = al.Transform(corr)
+			in.ICPCorrections = append(in.ICPCorrections, corr.T.Norm())
 		}
 		aligned = append(aligned, al)
 	}

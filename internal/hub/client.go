@@ -13,10 +13,15 @@ import (
 // protocol-v2 wrapper over the transport. A Client is not safe for
 // concurrent use; each vehicle session owns one.
 type Client struct {
-	conn *network.Transport
-	id   string
-	seq  uint64
-	denc pointcloud.DeltaEncoder
+	conn    *network.Transport
+	id      string
+	seq     uint64
+	denc    pointcloud.DeltaEncoder
+	retries uint64
+	// lastWire is the payload the most recent PublishDelta actually put
+	// on the wire (the keyframe, when the delta was retried) — what an
+	// episode store records as the published frame.
+	lastWire []byte
 }
 
 // Connect dials the hub and opens a session for the named vehicle,
@@ -88,6 +93,7 @@ func (c *Client) PublishDelta(state fusion.VehicleState, cloud *pointcloud.Cloud
 	cached, err = c.sendDeltaFrame(state, payload)
 	if err != nil && strings.Contains(err.Error(), "keyframe") {
 		// The hub could not apply the delta; recover with a keyframe.
+		c.retries++
 		c.denc.ForceKeyframe()
 		if payload, _, err = c.denc.Encode(cloud, c.seq); err != nil {
 			return 0, 0, err
@@ -97,8 +103,19 @@ func (c *Client) PublishDelta(state fusion.VehicleState, cloud *pointcloud.Cloud
 	if err != nil {
 		return 0, 0, err
 	}
+	c.lastWire = payload
 	return cached, len(payload), nil
 }
+
+// LastWirePayload returns the bytes the most recent PublishDelta put on
+// the wire.
+func (c *Client) LastWirePayload() []byte { return c.lastWire }
+
+// KeyframeRetries reports how many delta publishes the client had to
+// recover in-band with a forced keyframe (hub restarts, lost keyframes).
+// Silent before this counter existed, the recovery path is now the wire
+// report's and telemetry's keyframe-retry signal.
+func (c *Client) KeyframeRetries() uint64 { return c.retries }
 
 func (c *Client) sendDeltaFrame(state fusion.VehicleState, payload []byte) (cached int, err error) {
 	if err := c.conn.Send(network.Message{

@@ -1,0 +1,203 @@
+package hub
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+)
+
+// The hub's HTTP stats surface: live JSON state (/vehicles, /rounds,
+// /metrics.json), Prometheus text exposition (/metrics), pprof
+// (/debug/pprof/...), and episode-store listing and replay (/episodes,
+// /episodes/{id}). The surface is read-only — every handler is a GET
+// over state the hub already maintains — so exposing it changes nothing
+// about the fusion protocol or its determinism.
+
+// httpServer is the hub's running stats listener.
+type httpServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// VehicleInfo is one cached vehicle's /vehicles entry.
+type VehicleInfo struct {
+	ID           string  `json:"id"`
+	X            float64 `json:"x"`
+	Y            float64 `json:"y"`
+	Z            float64 `json:"z"`
+	Yaw          float64 `json:"yaw"`
+	Seq          uint64  `json:"seq"`
+	PayloadBytes int     `json:"payload_bytes"`
+	Encoding     string  `json:"encoding"`
+}
+
+// Vehicles returns the cached fleet state, sorted by vehicle ID.
+func (h *Hub) Vehicles() []VehicleInfo {
+	h.mu.RLock()
+	out := make([]VehicleInfo, 0, len(h.frames))
+	for id, f := range h.frames {
+		enc := "raw"
+		if f.cloud == nil {
+			enc = "feature"
+		}
+		out = append(out, VehicleInfo{
+			ID:           id,
+			X:            f.state.GPS.X,
+			Y:            f.state.GPS.Y,
+			Z:            f.state.GPS.Z,
+			Yaw:          f.state.Yaw,
+			Seq:          f.seq,
+			PayloadBytes: len(f.payload),
+			Encoding:     enc,
+		})
+	}
+	h.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// StatsHandler builds the hub's HTTP stats mux. It is exported
+// separately from StartHTTP so tests can mount it on httptest servers
+// and embedders can graft it into their own serving stack.
+func (h *Hub) StatsHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/vehicles", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, h.Vehicles())
+	})
+	mux.HandleFunc("/rounds", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, h.RecentRounds())
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		h.cfg.Metrics.Snapshot().WriteJSON(w)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		h.cfg.Metrics.Snapshot().WritePrometheus(w)
+	})
+	mux.HandleFunc("/episodes", h.handleEpisodes)
+	mux.HandleFunc("/episodes/", h.handleEpisodes)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// EpisodeSummary is the /episodes/{id} reply: the stored header,
+// record counts, and the replay verification verdict.
+type EpisodeSummary struct {
+	ID         string   `json:"id"`
+	Label      string   `json:"label"`
+	Scenario   string   `json:"scenario,omitempty"`
+	Backend    string   `json:"backend"`
+	Wire       string   `json:"wire,omitempty"`
+	Seed       int64    `json:"seed"`
+	Frames     int      `json:"frames"`
+	Rounds     int      `json:"rounds"`
+	Detections int      `json:"detections"`
+	Tracks     int      `json:"tracks"`
+	Complete   bool     `json:"complete"`
+	Replayed   int      `json:"replayed_rounds"`
+	Matched    int      `json:"matched_rounds"`
+	Mismatched []string `json:"mismatched,omitempty"`
+	Identical  bool     `json:"identical"`
+}
+
+// handleEpisodes serves /episodes (the stored episode id list) and
+// /episodes/{id} (decode, replay through the fusion path, report the
+// byte-identity verdict).
+func (h *Hub) handleEpisodes(w http.ResponseWriter, r *http.Request) {
+	if h.cfg.Episodes == nil {
+		http.Error(w, "no episode store configured", http.StatusNotFound)
+		return
+	}
+	id := strings.TrimPrefix(strings.TrimPrefix(r.URL.Path, "/episodes"), "/")
+	if id == "" {
+		ids, err := h.cfg.Episodes.List()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if ids == nil {
+			ids = []string{}
+		}
+		writeJSON(w, ids)
+		return
+	}
+	ep, err := h.cfg.Episodes.Read(id)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	_, stats, err := h.cfg.Episodes.Replay(id)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("replaying %s: %v", id, err), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, EpisodeSummary{
+		ID:         id,
+		Label:      ep.Header.Label,
+		Scenario:   ep.Header.Scenario,
+		Backend:    ep.Header.Backend,
+		Wire:       ep.Header.Wire,
+		Seed:       ep.Header.Seed,
+		Frames:     len(ep.Frames),
+		Rounds:     len(ep.Rounds),
+		Detections: len(ep.Detections),
+		Tracks:     len(ep.Tracks),
+		Complete:   ep.Complete,
+		Replayed:   stats.Rounds,
+		Matched:    stats.Matched,
+		Mismatched: stats.Mismatched,
+		Identical:  stats.Identical(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// StartHTTP starts serving the stats API on Config.HTTPAddr and returns
+// the bound address (useful with a ":0" config). A hub with no HTTPAddr
+// returns "" and starts nothing. The server stops with the hub's Close,
+// or explicitly via StopHTTP.
+func (h *Hub) StartHTTP() (string, error) {
+	if h.cfg.HTTPAddr == "" {
+		return "", nil
+	}
+	h.httpMu.Lock()
+	defer h.httpMu.Unlock()
+	if h.httpSrv != nil {
+		return h.httpSrv.ln.Addr().String(), nil
+	}
+	ln, err := net.Listen("tcp", h.cfg.HTTPAddr)
+	if err != nil {
+		return "", fmt.Errorf("hub: stats listener: %w", err)
+	}
+	srv := &http.Server{Handler: h.StatsHandler()}
+	h.httpSrv = &httpServer{ln: ln, srv: srv}
+	go srv.Serve(ln)
+	h.logf("stats API on http://%s", ln.Addr())
+	return ln.Addr().String(), nil
+}
+
+// StopHTTP stops the stats server if one is running.
+func (h *Hub) StopHTTP() error {
+	h.httpMu.Lock()
+	s := h.httpSrv
+	h.httpSrv = nil
+	h.httpMu.Unlock()
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

@@ -32,6 +32,8 @@ import (
 	"cooper/internal/pointcloud"
 	"cooper/internal/roi"
 	"cooper/internal/spod"
+	"cooper/internal/store"
+	"cooper/internal/telemetry"
 )
 
 // Config parameterises a hub.
@@ -52,6 +54,57 @@ type Config struct {
 	// publishes, rounds). The hub never logs through any other path, so
 	// servers stay silent by default and tests stay quiet.
 	Logf func(format string, args ...any)
+	// Metrics, when set, receives the hub's telemetry: publish/round
+	// counters, cache churn, loss drops, keyframe misses and the round
+	// latency histogram. Every value honours the telemetry package's
+	// sim-time-and-bytes determinism contract. Nil disables metrics at
+	// the cost of one pointer test per event.
+	Metrics *telemetry.Registry
+	// HTTPAddr, when non-empty, is the address StartHTTP serves the
+	// stats API on (see http.go): /vehicles, /rounds, /metrics,
+	// /metrics.json, /debug/pprof and /episodes.
+	HTTPAddr string
+	// Episodes, when set, is the episode-log directory the HTTP
+	// surface's /episodes endpoints list and replay from.
+	Episodes *store.Dir
+}
+
+// roundLatencyBuckets spans the DSRC schedule model's plausible round
+// completions, in microseconds: 1 ms to ~5 s.
+var roundLatencyBuckets = []int64{1000, 5000, 10000, 25000, 50000, 100000, 250000, 500000, 1000000, 5000000}
+
+// hubMetrics is the hub's resolved metric handles. All handles are nil
+// (no-ops) when Config.Metrics is nil.
+type hubMetrics struct {
+	publishes      *telemetry.Counter
+	publishBytes   *telemetry.Counter
+	publishDrops   *telemetry.Counter
+	publishStale   *telemetry.Counter
+	cacheEvictions *telemetry.Counter
+	keyframeMisses *telemetry.Counter
+	vehicles       *telemetry.Gauge
+	rounds         *telemetry.Counter
+	roundFrames    *telemetry.Counter
+	roundBytes     *telemetry.Counter
+	roundStale     *telemetry.Counter
+	roundLatency   *telemetry.Histogram
+}
+
+func newHubMetrics(r *telemetry.Registry) hubMetrics {
+	return hubMetrics{
+		publishes:      r.Counter("hub_publishes_total"),
+		publishBytes:   r.Counter("hub_publish_bytes_total"),
+		publishDrops:   r.Counter("hub_publish_drops_total"),
+		publishStale:   r.Counter("hub_publish_stale_total"),
+		cacheEvictions: r.Counter("hub_cache_evictions_total"),
+		keyframeMisses: r.Counter("hub_keyframe_misses_total"),
+		vehicles:       r.Gauge("hub_vehicles_cached"),
+		rounds:         r.Counter("hub_rounds_total"),
+		roundFrames:    r.Counter("hub_round_frames_total"),
+		roundBytes:     r.Counter("hub_round_payload_bytes_total"),
+		roundStale:     r.Counter("hub_round_stale_senders_total"),
+		roundLatency:   r.Histogram("hub_round_latency_us", roundLatencyBuckets...),
+	}
 }
 
 // DefaultMaxSenders bounds fusion rounds for requests that do not name a
@@ -138,6 +191,31 @@ type Hub struct {
 	closed   bool
 	wg       sync.WaitGroup
 	rounds   atomic.Uint64
+
+	met hubMetrics
+
+	ringMu sync.Mutex
+	ring   []RoundInfo
+
+	httpMu  sync.Mutex
+	httpSrv *httpServer
+}
+
+// ringCap bounds the in-memory recent-round buffer /rounds serves.
+const ringCap = 64
+
+// RoundInfo is the retained summary of one assembled round, what the
+// HTTP /rounds endpoint serves. All fields derive from sim-time and
+// byte counts; under concurrent requesters only the ring's order varies
+// with scheduling, never any entry's contents.
+type RoundInfo struct {
+	Seq       uint64   `json:"seq"`
+	Requester string   `json:"requester"`
+	Frames    int      `json:"frames"`
+	Bytes     int64    `json:"bytes"`
+	LatencyUS int64    `json:"latency_us"`
+	Stale     []string `json:"stale,omitempty"`
+	Feature   bool     `json:"feature,omitempty"`
 }
 
 // New creates a hub.
@@ -153,6 +231,7 @@ func New(cfg Config) *Hub {
 		frames:   make(map[string]*cachedFrame),
 		deltas:   make(map[string]*deltaState),
 		sessions: make(map[*network.Transport]struct{}),
+		met:      newHubMetrics(cfg.Metrics),
 	}
 }
 
@@ -180,6 +259,7 @@ func (h *Hub) Publish(sender string, state fusion.VehicleState, payload []byte, 
 		// happens before any decoding, so a lost CPD1 keyframe never
 		// advances the sender's delta state — the next delta against it
 		// fails with the keyframe error and the client re-keys.
+		h.met.publishDrops.Inc()
 		h.logf("frame from %s (seq %d) lost in transit", sender, seq)
 		h.mu.RLock()
 		defer h.mu.RUnlock()
@@ -210,9 +290,17 @@ func (h *Hub) Publish(sender string, state fusion.VehicleState, payload []byte, 
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if prev, ok := h.frames[sender]; ok && prev.seq > seq {
+		h.met.publishStale.Inc()
 		return len(h.frames), nil // stale frame raced a newer one: keep latest
 	}
+	if _, ok := h.frames[sender]; ok {
+		// Cache churn: the sender's previous frame is evicted by this one.
+		h.met.cacheEvictions.Inc()
+	}
 	h.frames[sender] = frame
+	h.met.publishes.Inc()
+	h.met.publishBytes.Add(int64(len(payload)))
+	h.met.vehicles.Set(int64(len(h.frames)))
 	return len(h.frames), nil
 }
 
@@ -234,6 +322,7 @@ func (h *Hub) applyDelta(sender string, payload []byte) (*pointcloud.Cloud, []by
 	defer ds.mu.Unlock()
 	cloud := &pointcloud.Cloud{}
 	if err := ds.dec.DecodeInto(payload, cloud); err != nil {
+		h.met.keyframeMisses.Inc()
 		return nil, nil, err
 	}
 	// Quantized encoding is idempotent, so re-encoding the reconstruction
@@ -275,6 +364,8 @@ type RoundFrame struct {
 // Round is an assembled fusion round: the selected sender frames in
 // broadcast-slot order plus the DSRC schedule that would deliver them.
 type Round struct {
+	// Seq is the hub-wide round number, assigned at assembly.
+	Seq    uint64
 	Frames []RoundFrame
 	// Plan schedules the frames on the hub's channel; Plan.Completion is
 	// the modelled round latency the requester would observe.
@@ -400,7 +491,55 @@ func (h *Hub) assembleRound(requester string, at geom.Vec3, k int, budgetBps uin
 		sizes = append(sizes, len(rf.Payload))
 	}
 	r.Plan = h.cfg.Scheduler.Plan(sizes)
+	r.Seq = h.rounds.Add(1)
+	h.observeRound(requester, r, feature)
 	return r, nil
+}
+
+// observeRound records an assembled round's telemetry and pushes its
+// summary into the recent-round ring. Counter and histogram updates are
+// order-independent, so concurrent requesters leave the registry
+// deterministic; only the ring's order tracks scheduling.
+func (h *Hub) observeRound(requester string, r Round, feature bool) {
+	totalBytes := int64(r.Plan.TotalBytes())
+	h.met.rounds.Inc()
+	h.met.roundFrames.Add(int64(len(r.Frames)))
+	h.met.roundBytes.Add(totalBytes)
+	h.met.roundStale.Add(int64(len(r.Stale)))
+	h.met.roundLatency.Observe(r.Plan.Completion().Microseconds())
+	if h.cfg.Metrics != nil {
+		// Payload bytes by ladder rung: which selection categories the
+		// budget actually bought (§IV-G data-volume accounting, live).
+		for _, f := range r.Frames {
+			h.cfg.Metrics.Counter(fmt.Sprintf("hub_round_payload_bytes_cat%d_total", f.Category)).
+				Add(int64(len(f.Payload)))
+		}
+	}
+
+	info := RoundInfo{
+		Seq:       r.Seq,
+		Requester: requester,
+		Frames:    len(r.Frames),
+		Bytes:     totalBytes,
+		LatencyUS: r.Plan.Completion().Microseconds(),
+		Feature:   feature,
+	}
+	info.Stale = append(info.Stale, r.Stale...)
+	h.ringMu.Lock()
+	h.ring = append(h.ring, info)
+	if len(h.ring) > ringCap {
+		h.ring = h.ring[len(h.ring)-ringCap:]
+	}
+	h.ringMu.Unlock()
+}
+
+// RecentRounds returns the retained round summaries, oldest first.
+func (h *Hub) RecentRounds() []RoundInfo {
+	h.ringMu.Lock()
+	defer h.ringMu.Unlock()
+	out := make([]RoundInfo, len(h.ring))
+	copy(out, h.ring)
+	return out
 }
 
 // Nearest returns the cached frame closest to the given position,

@@ -15,6 +15,8 @@ import (
 	"cooper/internal/roi"
 	"cooper/internal/scene"
 	"cooper/internal/spod"
+	"cooper/internal/store"
+	"cooper/internal/telemetry"
 	"cooper/internal/track"
 )
 
@@ -64,6 +66,24 @@ type SelfTestOptions struct {
 	// true poses while sensing and ground truth stay exact. Zero changes
 	// nothing in the report.
 	Drift float64
+	// Metrics, when set, receives the run's telemetry through the hub
+	// (publish/round counters, loss drops, keyframe misses) plus the
+	// client-side keyframe-retry total. The registry's contents are
+	// deterministic: identical options produce identical snapshots.
+	Metrics *telemetry.Registry
+	// Store, when set, receives the full episode as an append-only log:
+	// published frames, every client's fusion round (inputs included),
+	// the fused detections and the track states — replayable via
+	// store.ReplayEpisode to byte-identical detections.
+	Store *store.EpisodeWriter
+	// HTTPAddr, when non-empty, serves the hub's stats API for the
+	// run's duration (see Linger).
+	HTTPAddr string
+	// Linger keeps the hub (and its stats API) alive for the given
+	// wall-clock duration after the report is written, so external
+	// observers can scrape a settled run. It affects nothing in the
+	// report or the metrics.
+	Linger time.Duration
 }
 
 // selfReport is one client's deterministic round outcome.
@@ -80,6 +100,17 @@ type selfReport struct {
 
 	assoc     core.TruthAssoc
 	worldDets []spod.Detection
+
+	// Episode-store capture, populated only when the run carries a
+	// store sink: the fusion inputs and outputs of this client's round,
+	// written sequentially after the parallel phase so the log's record
+	// order is deterministic.
+	storeCloud    *pointcloud.Cloud
+	storeState    fusion.VehicleState
+	storePayloads []fusion.Payload
+	storeDets     []spod.Detection
+	storeFOVTop   float64
+	storeMaxRange float64
 }
 
 // SelfTest spins up a hub plus an in-process fleet of TCP clients from a
@@ -129,7 +160,7 @@ func SelfTest(w io.Writer, opts SelfTestOptions) error {
 		return err
 	}
 
-	h := New(Config{MaxSenders: scene.MaxFleet, Loss: opts.Loss})
+	h := New(Config{MaxSenders: scene.MaxFleet, Loss: opts.Loss, Metrics: opts.Metrics, HTTPAddr: opts.HTTPAddr})
 
 	// Localization drift: one seeded error walk per client, precomputed
 	// sequentially; the fan-out phases only index into it. The seed
@@ -157,6 +188,9 @@ func SelfTest(w io.Writer, opts SelfTestOptions) error {
 	}
 	go h.Serve(l)
 	defer h.Close()
+	if _, err := h.StartHTTP(); err != nil {
+		return err
+	}
 
 	budgetBps := uint64(opts.BandwidthMbps * 1e6)
 	k := opts.MaxSenders
@@ -204,6 +238,10 @@ func SelfTest(w io.Writer, opts SelfTestOptions) error {
 	wireFull := make([]int, opts.Fleet)
 
 	allReports := make([][]selfReport, frames)
+	var pubFrames []store.Frame
+	if opts.Store != nil {
+		pubFrames = make([]store.Frame, opts.Fleet)
+	}
 	for f := 0; f < frames; f++ {
 		var at time.Duration
 		if frames > 1 {
@@ -230,6 +268,10 @@ func SelfTest(w io.Writer, opts SelfTestOptions) error {
 				}
 				wireSent[i] += sent
 				wireFull[i] += pointcloud.EncodedSizeQuantized(frame.Cloud.Len())
+				if pubFrames != nil {
+					pubFrames[i] = store.Frame{Frame: f, Sender: sc.PoseLabels[i],
+						Seq: uint64(f + 1), State: state, Payload: clients[i].LastWirePayload()}
+				}
 				return v, nil
 			}
 			p, err := backend.Encode(frame, nil)
@@ -243,6 +285,10 @@ func SelfTest(w io.Writer, opts SelfTestOptions) error {
 			}
 			if err != nil {
 				return nil, err
+			}
+			if pubFrames != nil {
+				pubFrames[i] = store.Frame{Frame: f, Sender: sc.PoseLabels[i],
+					Seq: uint64(f + 1), State: state, Payload: p.Data}
 			}
 			return v, nil
 		})
@@ -327,6 +373,15 @@ func SelfTest(w io.Writer, opts SelfTestOptions) error {
 			rep.assoc = core.EvaluateDetectionsAssoc(snap, i, participants, coopDets)
 			rep.coop = rep.assoc.Stats
 			rep.plan = h.cfg.Scheduler.Plan(sizes)
+			if opts.Store != nil {
+				cfg := recv.Detector.Config()
+				rep.storeCloud = recv.Cloud
+				rep.storeState = reqState
+				rep.storePayloads = payloads
+				rep.storeDets = coopDets
+				rep.storeFOVTop = cfg.VerticalFOVTop
+				rep.storeMaxRange = cfg.MaxDetectionRange
+			}
 
 			// Track in the world frame: receivers move between frames.
 			rep.worldDets = core.WorldDetections(coopDets, snap.Poses[i], sc.LiDAR.MountHeight)
@@ -337,14 +392,36 @@ func SelfTest(w io.Writer, opts SelfTestOptions) error {
 		}
 
 		// Phase 3 — the per-client track layer consumes the fused
-		// detections in timeline order.
+		// detections in timeline order; the episode store (if any) is
+		// appended here, sequentially, so record order is deterministic.
+		if opts.Store != nil {
+			for i := range pubFrames {
+				if err := opts.Store.WriteFrame(pubFrames[i]); err != nil {
+					return err
+				}
+			}
+		}
 		for i := range reports {
 			rep := &reports[i]
 			ids := trackers[i].Step(at, rep.worldDets)
 			assocs[i] = append(assocs[i], rep.assoc.FrameAssoc(ids))
+			if opts.Store != nil {
+				if err := writeSelfTestRound(opts.Store, f, rep, trackers[i]); err != nil {
+					return err
+				}
+			}
 		}
 		allReports[f] = reports
 	}
+
+	// Keyframe retries: the clients' in-band delta recoveries, summed
+	// into telemetry before the report prints so a scrape after the
+	// final report line always sees settled counters.
+	var retries uint64
+	for _, cl := range clients {
+		retries += cl.KeyframeRetries()
+	}
+	opts.Metrics.Counter("client_keyframe_retries_total").Add(int64(retries))
 
 	if frames == 1 {
 		printSelfTest(w, sc, opts, k, budgetBps, allReports[0])
@@ -363,8 +440,47 @@ func SelfTest(w io.Writer, opts SelfTestOptions) error {
 		}
 		fmt.Fprintf(w, "\nwire v3: published %d B on the delta stream vs %d B full quantized (%.2f×)\n",
 			sent, full, ratio)
+		fmt.Fprintf(w, "wire v3: %d keyframe retries recovered in-band\n", retries)
+	}
+	if opts.Linger > 0 {
+		time.Sleep(opts.Linger)
 	}
 	return nil
+}
+
+// writeSelfTestRound appends one client's round, fused detections and
+// track state to the episode store. The round record carries the exact
+// fusion inputs — the receiver's lossless cloud, the served payloads
+// and the detector scalars — so store.ReplayEpisode reproduces the
+// detections byte for byte through the same Fuse+Detect path.
+func writeSelfTestRound(ew *store.EpisodeWriter, f int, rep *selfReport, tr *track.Tracker) error {
+	rp := make([]store.RoundPayload, len(rep.storePayloads))
+	for j, p := range rep.storePayloads {
+		rp[j] = store.RoundPayload{Sender: p.SenderID, State: p.State, Data: p.Data}
+	}
+	if err := ew.WriteRound(store.Round{
+		Frame:        f,
+		Receiver:     rep.id,
+		State:        rep.storeState,
+		Own:          rep.storeCloud,
+		FOVTop:       rep.storeFOVTop,
+		MaxRange:     rep.storeMaxRange,
+		LatencyUS:    rep.plan.Completion().Microseconds(),
+		PayloadBytes: int64(rep.payloadSum),
+		Lost:         rep.stale,
+		Payloads:     rp,
+	}); err != nil {
+		return err
+	}
+	if err := ew.WriteDetections(store.Detections{Frame: f, Receiver: rep.id, Dets: rep.storeDets}); err != nil {
+		return err
+	}
+	tracks := tr.Tracks()
+	ts := make([]store.TrackState, len(tracks))
+	for j, t := range tracks {
+		ts[j] = store.TrackState{ID: t.ID, Box: t.Box, VelX: t.Vel.X, VelY: t.Vel.Y, Hits: t.Hits, Misses: t.Misses}
+	}
+	return ew.WriteTracks(store.Tracks{Frame: f, Receiver: rep.id, Tracks: ts})
 }
 
 // selectionFor reports the payload-selection rung the hub used for one

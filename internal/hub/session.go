@@ -78,6 +78,9 @@ func (h *Hub) Close() error {
 		c.Close()
 	}
 	h.wg.Wait()
+	if herr := h.StopHTTP(); err == nil {
+		err = herr
+	}
 	return err
 }
 
@@ -160,7 +163,7 @@ func (h *Hub) handle(conn *network.Transport, msg network.Message) error {
 		if err != nil {
 			return h.sendError(conn, err)
 		}
-		seq := h.rounds.Add(1)
+		seq := round.Seq
 		h.logf("round %d for %s: %d frame(s), %d B, completes in %v, %d stale",
 			seq, msg.Sender, len(round.Frames), round.Plan.TotalBytes(), round.Plan.Completion(), len(round.Stale))
 		if err := conn.Send(network.Message{

@@ -1,0 +1,56 @@
+package store
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzReadEpisodeLog drives arbitrary bytes through the log reader and
+// every typed record decoder. The contract under test: no input —
+// truncated, corrupted, or adversarial — may panic or over-allocate;
+// malformed data must surface as an error.
+func FuzzReadEpisodeLog(f *testing.F) {
+	// Seed with a real episode, a bare header, and targeted mutations.
+	valid := func() []byte {
+		var buf bytes.Buffer
+		ew, err := NewEpisodeWriter(&buf, Header{Label: "fuzz", Backend: "raw"})
+		if err != nil {
+			f.Fatal(err)
+		}
+		ew.WriteFrame(Frame{Frame: 0, Sender: "v1", Seq: 1, Payload: []byte{1, 2, 3}})
+		ew.WriteDetections(Detections{Frame: 0, Receiver: "v0"})
+		ew.Close()
+		return buf.Bytes()
+	}()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("CEPL"))
+	f.Add([]byte{})
+	mut := append([]byte(nil), valid...)
+	mut[12] ^= 0x40
+	f.Add(mut)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for {
+			rec, err := r.Next()
+			if err == io.EOF || err != nil {
+				break
+			}
+			// Run every typed decoder over the payload regardless of the
+			// record's declared type: none may panic.
+			DecodeHeader(rec.Data)
+			DecodeFrame(rec.Data)
+			DecodeRound(rec.Data)
+			DecodeDetections(rec.Data)
+			DecodeTracks(rec.Data)
+			DecodeEnd(rec.Data)
+		}
+		// The whole-episode reader must be equally unshakeable.
+		ReadEpisode(bytes.NewReader(data))
+	})
+}

@@ -1,0 +1,165 @@
+// Package store is the persistent episode layer: an append-only binary
+// log of everything a cooperative-perception run exchanged — published
+// frames, assembled fusion rounds, fused detections and track states —
+// plus a replayer that pushes a stored episode back through the fusion
+// path and verifies the recorded detections byte for byte. Every soak
+// run becomes a regression artifact: if replaying yesterday's log on
+// today's build produces different fused bytes, the fusion path changed.
+//
+// The wire format is deliberately dumb and deterministic: a fixed
+// 8-byte file header (magic "CEPL", a version, a reserved word), then
+// length-prefixed records — one type byte, a little-endian u32 payload
+// length, the payload, and a CRC-32 (IEEE) over type+length+payload.
+// Readers never trust a length without the CRC, never allocate more
+// than the declared cap, and turn every malformed tail into a clean
+// error, never a panic (FuzzReadEpisodeLog holds them to it). No record
+// contains wall-clock time: identical runs write identical logs.
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Format constants. Version bumps when any record encoding changes.
+const (
+	logMagic   = "CEPL"
+	logVersion = 1
+
+	// maxRecord bounds a single record's payload so corrupt lengths
+	// cannot drive allocation: 256 MiB dwarfs any real frame.
+	maxRecord = 1 << 28
+)
+
+// RecordType tags a log record.
+type RecordType uint8
+
+// The record vocabulary. A log is one Header, any interleaving of
+// Frame/Round/Detections/Tracks in append order, and optionally one
+// End.
+const (
+	RecHeader     RecordType = 1
+	RecFrame      RecordType = 2
+	RecRound      RecordType = 3
+	RecDetections RecordType = 4
+	RecTracks     RecordType = 5
+	RecEnd        RecordType = 6
+)
+
+// Record is one raw log record: the type tag and its encoded payload.
+type Record struct {
+	Type RecordType
+	Data []byte
+}
+
+// Errors the reader distinguishes: a log that stops mid-record
+// (truncated by a crash) versus one whose bytes fail the CRC.
+var (
+	ErrTruncated = errors.New("store: truncated record")
+	ErrCorrupt   = errors.New("store: corrupt record")
+)
+
+// Writer appends records to an episode log. Writes are buffered; call
+// Flush (or Close on a file-backed EpisodeWriter) before handing the
+// bytes to a reader. Writer itself is not concurrency-safe — the typed
+// EpisodeWriter wrapping it is.
+type Writer struct {
+	bw      *bufio.Writer
+	records int
+	bytes   int64
+	scratch []byte
+}
+
+// NewWriter starts a log on w by writing the file header.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	var hdr [8]byte
+	copy(hdr[:4], logMagic)
+	binary.LittleEndian.PutUint16(hdr[4:6], logVersion)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{bw: bw, bytes: 8}, nil
+}
+
+// Append writes one record: type, length, payload, CRC.
+func (w *Writer) Append(rec Record) error {
+	if len(rec.Data) > maxRecord {
+		return fmt.Errorf("store: record of %d B exceeds the %d B cap", len(rec.Data), maxRecord)
+	}
+	w.scratch = w.scratch[:0]
+	w.scratch = append(w.scratch, byte(rec.Type))
+	w.scratch = binary.LittleEndian.AppendUint32(w.scratch, uint32(len(rec.Data)))
+	w.scratch = append(w.scratch, rec.Data...)
+	sum := crc32.ChecksumIEEE(w.scratch)
+	w.scratch = binary.LittleEndian.AppendUint32(w.scratch, sum)
+	if _, err := w.bw.Write(w.scratch); err != nil {
+		return err
+	}
+	w.records++
+	w.bytes += int64(len(w.scratch))
+	return nil
+}
+
+// Flush pushes buffered bytes to the underlying writer.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+// Records returns the number of records appended.
+func (w *Writer) Records() int { return w.records }
+
+// Bytes returns the total encoded size so far, header included.
+func (w *Writer) Bytes() int64 { return w.bytes }
+
+// Reader iterates an episode log's records.
+type Reader struct {
+	br *bufio.Reader
+}
+
+// NewReader checks the file header and positions at the first record.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("store: reading log header: %w", err)
+	}
+	if string(hdr[:4]) != logMagic {
+		return nil, fmt.Errorf("store: not an episode log (bad magic)")
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != logVersion {
+		return nil, fmt.Errorf("store: log version %d, want %d", v, logVersion)
+	}
+	return &Reader{br: br}, nil
+}
+
+// Next returns the next record. io.EOF marks the clean end of the log;
+// ErrTruncated a log cut mid-record; ErrCorrupt a failed checksum.
+func (r *Reader) Next() (Record, error) {
+	var head [5]byte
+	if _, err := io.ReadFull(r.br, head[:1]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Record{}, io.EOF
+		}
+		return Record{}, fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	if _, err := io.ReadFull(r.br, head[1:]); err != nil {
+		return Record{}, fmt.Errorf("%w: record header: %v", ErrTruncated, err)
+	}
+	n := binary.LittleEndian.Uint32(head[1:])
+	if n > maxRecord {
+		return Record{}, fmt.Errorf("%w: declared length %d exceeds cap", ErrCorrupt, n)
+	}
+	body := make([]byte, n+4)
+	if _, err := io.ReadFull(r.br, body); err != nil {
+		return Record{}, fmt.Errorf("%w: record body: %v", ErrTruncated, err)
+	}
+	sum := crc32.ChecksumIEEE(head[:])
+	sum = crc32.Update(sum, crc32.IEEETable, body[:n])
+	if got := binary.LittleEndian.Uint32(body[n:]); got != sum {
+		return Record{}, fmt.Errorf("%w: checksum %08x, want %08x", ErrCorrupt, got, sum)
+	}
+	return Record{Type: RecordType(head[0]), Data: body[:n]}, nil
+}

@@ -1,0 +1,183 @@
+package telemetry
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Series is an FTDC-style compact time series of registry samples. Like
+// MongoDB's full-time diagnostic data capture, it exploits that most
+// metrics move slowly between adjacent samples: the first sample stores
+// every column whole, and each later sample stores only zigzag-varint
+// deltas against its predecessor, so a flat counter costs one byte per
+// sample. Histograms flatten into one column per bucket plus _sum and
+// _count, so the whole registry is a fixed column vector.
+//
+// The column set freezes at the first sample: metrics registered later
+// are not retroactively sampled (register everything before sampling —
+// all in-tree producers do). Sample times are sim-times, never
+// wall-clock, keeping the encoded series deterministic end to end.
+//
+// A Series is safe for concurrent use; a nil *Series ignores Sample
+// calls, mirroring the nil-registry convention.
+type Series struct {
+	mu    sync.Mutex
+	names []string
+	last  []int64
+	buf   []byte
+	n     int
+	tLast int64
+}
+
+// seriesMagic versions the encoded stream.
+const seriesMagic = "CFT1"
+
+// flatten turns a snapshot into the series' column vector, sorted by
+// column name (histogram buckets expand to name_bucket<i>, name_sum,
+// name_count columns).
+func flatten(s Snapshot) (names []string, values []int64) {
+	for _, m := range s.Metrics {
+		switch m.Kind {
+		case "counter", "gauge":
+			names = append(names, m.Name)
+			values = append(values, m.Value)
+		case "histogram":
+			for i, c := range m.Counts {
+				names = append(names, fmt.Sprintf("%s_bucket%d", m.Name, i))
+				values = append(values, c)
+			}
+			names = append(names, m.Name+"_sum", m.Name+"_count")
+			values = append(values, m.Sum, m.Count)
+		}
+	}
+	idx := make([]int, len(names))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return names[idx[a]] < names[idx[b]] })
+	outN := make([]string, len(names))
+	outV := make([]int64, len(values))
+	for i, j := range idx {
+		outN[i], outV[i] = names[j], values[j]
+	}
+	return outN, outV
+}
+
+// Sample appends one sample of the registry at the given sim-time. The
+// first call freezes the column set; columns a later snapshot lacks
+// sample as zero, and new columns are ignored.
+func (s *Series) Sample(at time.Duration, snap Snapshot) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names, values := flatten(snap.MaskEnvelope())
+	if s.n == 0 {
+		s.names = names
+		s.last = make([]int64, len(values))
+		s.buf = append(s.buf, seriesMagic...)
+		s.buf = binary.AppendUvarint(s.buf, uint64(len(names)))
+		for _, n := range names {
+			s.buf = binary.AppendUvarint(s.buf, uint64(len(n)))
+			s.buf = append(s.buf, n...)
+		}
+	} else if len(names) != len(s.names) {
+		// Re-project the snapshot onto the frozen column set.
+		byName := make(map[string]int64, len(names))
+		for i, n := range names {
+			byName[n] = values[i]
+		}
+		values = make([]int64, len(s.names))
+		for i, n := range s.names {
+			values[i] = byName[n]
+		}
+	}
+	s.buf = binary.AppendVarint(s.buf, int64(at)-s.tLast)
+	s.tLast = int64(at)
+	for i, v := range values {
+		s.buf = binary.AppendVarint(s.buf, v-s.last[i])
+		s.last[i] = v
+	}
+	s.n++
+}
+
+// Len returns the number of samples recorded.
+func (s *Series) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// Bytes returns the encoded series. The encoding is deterministic: the
+// same sample sequence yields the same bytes.
+func (s *Series) Bytes() []byte {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]byte, len(s.buf))
+	copy(out, s.buf)
+	return out
+}
+
+// SeriesSample is one decoded sample: the sim-time it was taken at and
+// every column's absolute value.
+type SeriesSample struct {
+	At     time.Duration
+	Values map[string]int64
+}
+
+// DecodeSeries expands an encoded series back into absolute samples.
+// It never panics on malformed input; truncated or corrupt streams
+// return an error.
+func DecodeSeries(data []byte) ([]SeriesSample, error) {
+	if len(data) < len(seriesMagic) || string(data[:len(seriesMagic)]) != seriesMagic {
+		return nil, fmt.Errorf("telemetry: not a series stream")
+	}
+	data = data[len(seriesMagic):]
+	ncols, n := binary.Uvarint(data)
+	if n <= 0 || ncols > 1<<20 {
+		return nil, fmt.Errorf("telemetry: bad column count")
+	}
+	data = data[n:]
+	names := make([]string, ncols)
+	for i := range names {
+		l, n := binary.Uvarint(data)
+		if n <= 0 || uint64(len(data)-n) < l {
+			return nil, fmt.Errorf("telemetry: truncated column name")
+		}
+		names[i] = string(data[n : n+int(l)])
+		data = data[n+int(l):]
+	}
+	var out []SeriesSample
+	last := make([]int64, ncols)
+	var tLast int64
+	for len(data) > 0 {
+		dt, n := binary.Varint(data)
+		if n <= 0 {
+			return nil, fmt.Errorf("telemetry: truncated sample time")
+		}
+		data = data[n:]
+		tLast += dt
+		vals := make(map[string]int64, ncols)
+		for i := range names {
+			d, n := binary.Varint(data)
+			if n <= 0 {
+				return nil, fmt.Errorf("telemetry: truncated sample column")
+			}
+			data = data[n:]
+			last[i] += d
+			vals[names[i]] = last[i]
+		}
+		out = append(out, SeriesSample{At: time.Duration(tLast), Values: vals})
+	}
+	return out, nil
+}
