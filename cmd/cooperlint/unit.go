@@ -1,0 +1,107 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+
+	"cooper/internal/lint"
+)
+
+// vetConfig is the JSON unit-checker configuration the go command
+// writes for each package when a -vettool is set. The field set (and
+// the protocol: analyze cfg.GoFiles, resolve imports through
+// cfg.PackageFile, write a facts file to cfg.VetxOutput, exit nonzero
+// on diagnostics) matches x/tools' unitchecker, which go vet was built
+// against.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runUnit analyzes one package unit described by a vet config file.
+// The exit protocol mirrors unitchecker: 0 clean, 1 tool failure,
+// 2 diagnostics.
+func runUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cooperlint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "cooperlint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// The suite exports no cross-package facts, so the facts file the
+	// go command caches (and feeds to dependents as PackageVetx) is
+	// always empty — but it must exist for the cache protocol.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "cooperlint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0 // dependency pass: facts only, no analysis
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "cooperlint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return 0
+	}
+
+	tpkg, info, err := lint.CheckTypes(fset, cfg.ImportPath, files, cfg.ImportMap, cfg.PackageFile)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "cooperlint: %v\n", err)
+		return 1
+	}
+
+	pkg := &lint.Package{
+		ImportPath: cfg.ImportPath,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        tpkg,
+		TypesInfo:  info,
+	}
+	findings := lint.Findings(lint.Run(pkg, lint.Analyzers()))
+	for _, s := range findings {
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s: %s\n", s.Pos.Filename, s.Pos.Line, s.Pos.Column, s.Analyzer, s.Message)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}

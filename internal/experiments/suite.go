@@ -243,6 +243,7 @@ func Figures() []int {
 	reg := Registry()
 	out := make([]int, 0, len(reg))
 	for f := range reg {
+		//cooper:maporder figure numbers are sorted immediately after collection
 		out = append(out, f)
 	}
 	sort.Ints(out)

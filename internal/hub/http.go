@@ -44,6 +44,7 @@ func (h *Hub) Vehicles() []VehicleInfo {
 		if f.cloud == nil {
 			enc = "feature"
 		}
+		//cooper:maporder listing is sorted by vehicle ID before returning
 		out = append(out, VehicleInfo{
 			ID:           id,
 			X:            f.state.GPS.X,

@@ -428,6 +428,7 @@ func (h *Hub) assembleRound(requester string, at geom.Vec3, k int, budgetBps uin
 		if id == requester {
 			continue
 		}
+		//cooper:maporder candidates are sorted (distance, then ID tie-break) before any output-visible use
 		cands = append(cands, candidate{id: id, dist: f.state.GPS.DistXY(at), frame: f})
 	}
 	h.mu.RUnlock()

@@ -443,6 +443,7 @@ func SelfTest(w io.Writer, opts SelfTestOptions) error {
 		fmt.Fprintf(w, "wire v3: %d keyframe retries recovered in-band\n", retries)
 	}
 	if opts.Linger > 0 {
+		//cooper:wallclock -linger wall-clock flag path: holds the stats server open after the transcript is complete
 		time.Sleep(opts.Linger)
 	}
 	return nil

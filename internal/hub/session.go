@@ -66,6 +66,7 @@ func (h *Hub) Close() error {
 	h.listener = nil
 	conns := make([]*network.Transport, 0, len(h.sessions))
 	for c := range h.sessions {
+		//cooper:maporder teardown only: close order of dying connections is never output-visible
 		conns = append(conns, c)
 	}
 	h.sessMu.Unlock()

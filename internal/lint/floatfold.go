@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FloatFold enforces DETERMINISM.md rule 3's parallel half: fan out
+// only pure per-item work and replay order-sensitive folds
+// sequentially. A floating-point accumulation into captured state from
+// inside a parallel region — a closure handed to parallel.For/
+// ForWorker/Map/MapErrWorker or launched with `go` — sums in goroutine
+// scheduling order, so its low bits differ run to run (and the write is
+// usually also a data race). The blessed pattern writes only slot i of
+// a result slice (`out[i] = ...`) and folds after the fan-in, which is
+// why indexed writes are not flagged.
+var FloatFold = &Analyzer{
+	Name: "floatfold",
+	Doc:  "flags float accumulation into captured state inside parallel.ForWorker/goroutine closures",
+	Run:  runFloatFold,
+}
+
+func runFloatFold(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.GoStmt:
+				if lit, ok := ast.Unparen(st.Call.Fun).(*ast.FuncLit); ok {
+					checkParallelClosure(pass, lit, "go statement")
+				}
+			case *ast.CallExpr:
+				fn := funcOf(pass.TypesInfo, st.Fun)
+				if fn == nil {
+					return true
+				}
+				path := pkgPathOf(fn)
+				if path != "cooper/internal/parallel" && !strings.HasSuffix(path, "/parallel") {
+					return true
+				}
+				region := "parallel." + fn.Name()
+				for _, arg := range st.Args {
+					if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+						checkParallelClosure(pass, lit, region)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkParallelClosure reports float accumulations that write through a
+// variable captured from outside the closure. Nested closures are
+// walked too: capturing from any enclosing scope still races the fold.
+func checkParallelClosure(pass *Pass, lit *ast.FuncLit, region string) {
+	info := pass.TypesInfo
+	report := func(pos token.Pos, target string) {
+		pass.Report(Diagnostic{
+			Pos: pos,
+			Message: fmt.Sprintf("float accumulation into captured %s inside %s closure: fan out pure per-item work and fold sequentially after the fan-in",
+				target, region),
+		})
+	}
+	captured := func(e ast.Expr) (string, bool) {
+		// Indexed writes (out[i] = / += ...) are the per-slot pattern;
+		// the slot is item-local, so the fold order is positional.
+		if _, indexed := ast.Unparen(e).(*ast.IndexExpr); indexed {
+			return "", false
+		}
+		id := rootIdent(e)
+		if id == nil || id.Name == "_" || !declaredOutside(info, id, lit) {
+			return "", false
+		}
+		return types.ExprString(e), true
+	}
+
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range st.Lhs {
+				if !typeHasInfo(info, lhs, types.IsFloat|types.IsComplex) {
+					continue
+				}
+				target, ok := captured(lhs)
+				if !ok {
+					continue
+				}
+				switch st.Tok {
+				case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+					report(st.Pos(), target)
+				case token.ASSIGN:
+					var rhs ast.Expr
+					if i < len(st.Rhs) {
+						rhs = st.Rhs[i]
+					}
+					if isSelfBinary(lhs, rhs) {
+						report(st.Pos(), target)
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if typeHasInfo(info, st.X, types.IsFloat) {
+				if target, ok := captured(st.X); ok {
+					report(st.Pos(), target)
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,14 @@
+package lint
+
+import "testing"
+
+func TestFloatFold(t *testing.T) {
+	sites := checkAnalyzer(t, FloatFold, "floatfold")
+	sup := suppressedOf(sites)
+	if len(sup) != 1 {
+		t.Fatalf("got %d suppressed sites, want 1:\n%s", len(sup), siteList(sup))
+	}
+	if want := "workers forced to 1 on this path; fold is effectively sequential"; sup[0].Reason != want {
+		t.Errorf("suppression reason = %q, want %q", sup[0].Reason, want)
+	}
+}

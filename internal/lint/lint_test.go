@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// loadTestdata loads one package under testdata/src by name.
+func loadTestdata(t *testing.T, name string) *Package {
+	t.Helper()
+	pkgs, err := LoadPackages(".", "./"+path.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatalf("loading testdata/src/%s: %v", name, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages for testdata/src/%s, want 1", len(pkgs), name)
+	}
+	return pkgs[0]
+}
+
+var wantRe = regexp.MustCompile(`// want "([^"]*)"`)
+
+// checkAnalyzer runs one analyzer over a testdata package and verifies
+// its open findings against the package's // want comments, exactly in
+// the analysistest style: every finding must match the want expectation
+// on its line, and every want must be matched by a finding. It returns
+// all sites so callers can assert on suppressed ones too.
+func checkAnalyzer(t *testing.T, a *Analyzer, name string) []Site {
+	t.Helper()
+	pkg := loadTestdata(t, name)
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key]*regexp.Regexp)
+	for _, f := range pkg.Files {
+		filename := pkg.Fset.Position(f.Pos()).Filename
+		data, err := os.ReadFile(filename)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			re, err := regexp.Compile(m[1])
+			if err != nil {
+				t.Fatalf("%s:%d: bad want regexp %q: %v", filename, i+1, m[1], err)
+			}
+			wants[key{filename, i + 1}] = re
+		}
+	}
+
+	sites := Run(pkg, []*Analyzer{a})
+	matched := make(map[key]bool)
+	for _, s := range Findings(sites) {
+		k := key{s.Pos.Filename, s.Pos.Line}
+		re, ok := wants[k]
+		if !ok {
+			t.Errorf("unexpected finding at %s:%d: %s", s.Pos.Filename, s.Pos.Line, s.Message)
+			continue
+		}
+		if !re.MatchString(s.Message) {
+			t.Errorf("%s:%d: finding %q does not match want %q", s.Pos.Filename, s.Pos.Line, s.Message, re)
+		}
+		matched[k] = true
+	}
+	for k, re := range wants {
+		if !matched[k] {
+			t.Errorf("%s:%d: expected finding matching %q, got none", k.file, k.line, re)
+		}
+	}
+	return sites
+}
+
+// suppressedOf filters the annotated (audit-row) sites.
+func suppressedOf(sites []Site) []Site {
+	var out []Site
+	for _, s := range sites {
+		if s.Suppressed {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// TestBadSuppressions pins the meta-diagnostics: unused annotations,
+// reason-less annotations and unknown directives are all findings.
+func TestBadSuppressions(t *testing.T) {
+	pkg := loadTestdata(t, "badsup")
+	findings := Findings(Run(pkg, Analyzers()))
+
+	wantSubstrings := []string{
+		"unused //cooper:maporder suppression",
+		"//cooper:maporder needs a reason",
+		"unknown //cooper:nosuchrule directive",
+		"float accumulation into total", // missingReason's loop stays flagged
+		"float accumulation into total", // unknownDirective's loop stays flagged
+	}
+	for _, want := range wantSubstrings {
+		n := 0
+		for _, f := range findings {
+			if strings.Contains(f.Message, want) {
+				n++
+			}
+		}
+		if n == 0 {
+			t.Errorf("no finding containing %q; findings:\n%s", want, siteList(findings))
+		}
+	}
+	if len(findings) != 5 {
+		t.Errorf("got %d findings, want 5:\n%s", len(findings), siteList(findings))
+	}
+	if s := suppressedOf(Run(pkg, Analyzers())); len(s) != 0 {
+		t.Errorf("malformed directives must suppress nothing, got %d suppressed sites", len(s))
+	}
+}
+
+func siteList(sites []Site) string {
+	var b strings.Builder
+	for _, s := range sites {
+		fmt.Fprintf(&b, "  %s\n", s)
+	}
+	return b.String()
+}

@@ -1,0 +1,145 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// listPackage is the slice of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// LoadPackages loads, parses and type-checks the packages matching the
+// patterns, resolving imports through compiler export data so no
+// third-party loader is needed. It shells out to `go list -deps
+// -export`, which (re)uses the build cache — the same data `go vet`
+// hands a vettool. dir is the working directory for the go command
+// (usually the module root); test files are never loaded, matching the
+// suite's _test.go exemption.
+func LoadPackages(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-e", "-json=ImportPath,Dir,GoFiles,Export,DepOnly,ImportMap,Error", "-deps", "-export"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go %v: %v\n%s", args, err, stderr.Bytes())
+	}
+
+	exports := make(map[string]string)
+	var targets []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("parsing go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			p := p
+			targets = append(targets, &p)
+		}
+	}
+
+	var pkgs []*Package
+	for _, t := range targets {
+		pkg, err := typeCheck(t, exports)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// typeCheck parses and type-checks one listed package against the
+// export data of its dependencies.
+func typeCheck(p *listPackage, exports map[string]string) (*Package, error) {
+	if len(p.GoFiles) == 0 {
+		return nil, nil
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(p.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %v", path, err)
+		}
+		files = append(files, f)
+	}
+
+	pkg, info, err := CheckTypes(fset, p.ImportPath, files, p.ImportMap, exports)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", p.ImportPath, err)
+	}
+	return &Package{ImportPath: p.ImportPath, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}, nil
+}
+
+// CheckTypes type-checks parsed files against gc export data:
+// importMap resolves source-level import paths (vendoring; may be nil)
+// and exportFiles maps resolved package paths to compiler export data
+// files. It is shared by the standalone loader and cooperlint's
+// `go vet -vettool` unit-config mode, which both receive exactly this
+// shape from the go command.
+func CheckTypes(fset *token.FileSet, path string, files []*ast.File, importMap, exportFiles map[string]string) (*types.Package, *types.Info, error) {
+	compiler := importer.ForCompiler(fset, "gc", func(importPath string) (io.ReadCloser, error) {
+		file, ok := exportFiles[importPath]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", importPath)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		if mapped, ok := importMap[importPath]; ok {
+			importPath = mapped
+		}
+		return compiler.Import(importPath)
+	})
+
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder enforces DETERMINISM.md rule 1: never iterate a map where
+// the iteration order can reach an output. Go randomises map iteration
+// on purpose, so any order-sensitive fold inside `for … range m` —
+// float accumulation, appending to an escaping slice, building text,
+// keeping a "best so far" — produces run-dependent bytes. This is the
+// exact bug class that hit spod/bev.go's objectness sum.
+//
+// Flagged loop-body shapes (all writing to state declared outside the
+// range statement):
+//
+//   - float or string compound assignment (`+=`, `-=`, `*=`, `/=`),
+//     float `++`/`--`, and `x = x + v` style re-assignment
+//   - `append` whose result lands in an outer slice
+//   - output building: fmt.Print*/Fprint* calls, Write* methods on an
+//     outer strings.Builder or bytes.Buffer
+//   - plain assignment of a non-constant to an outer variable (last or
+//     best match wins — which key that is follows map order)
+//
+// Integer counters (`n++`, `n += len(v)`) and writes keyed through the
+// range key (`other[k] = v`, `delete(m2, k)`) are order-insensitive and
+// not flagged. Intentional order-safe iterations carry
+// //cooper:maporder <reason> and become audit-table rows.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flags `for … range` over a map whose loop body can reach an output",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRangeBody(pass, rs)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMapRangeBody walks one map-range body reporting every sink the
+// iteration order can leak through.
+func checkMapRangeBody(pass *Pass, rs *ast.RangeStmt) {
+	info := pass.TypesInfo
+	report := func(pos token.Pos, format string, args ...any) {
+		pass.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+	}
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			checkMapRangeAssign(pass, rs, st, report)
+		case *ast.IncDecStmt:
+			if id := rootIdent(st.X); id != nil && declaredOutside(info, id, rs) &&
+				typeHasInfo(info, st.X, types.IsFloat) {
+				report(st.Pos(), "float %s of %s inside map iteration: the low bits follow random map order", st.Tok, types.ExprString(st.X))
+			}
+		case *ast.CallExpr:
+			checkMapRangeCall(pass, rs, st, report)
+		}
+		return true
+	})
+}
+
+func checkMapRangeAssign(pass *Pass, rs *ast.RangeStmt, st *ast.AssignStmt, report func(token.Pos, string, ...any)) {
+	info := pass.TypesInfo
+	for i, lhs := range st.Lhs {
+		id := rootIdent(lhs)
+		if id == nil || id.Name == "_" || !declaredOutside(info, id, rs) {
+			continue
+		}
+		var rhs ast.Expr
+		if i < len(st.Rhs) {
+			rhs = st.Rhs[i]
+		} else if len(st.Rhs) == 1 {
+			rhs = st.Rhs[0] // multi-assign from one call
+		}
+
+		switch st.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			if typeHasInfo(info, lhs, types.IsFloat) {
+				report(st.Pos(), "float accumulation into %s inside map iteration: sum order follows random map order", types.ExprString(lhs))
+			} else if typeHasInfo(info, lhs, types.IsString) {
+				report(st.Pos(), "string building into %s inside map iteration: output order follows random map order", types.ExprString(lhs))
+			}
+		case token.ASSIGN:
+			// Writes keyed by the loop variables (out[k] = v) are
+			// set-semantics updates; plain ident/selector targets are
+			// last-write-wins and therefore order-dependent.
+			if _, indexed := ast.Unparen(lhs).(*ast.IndexExpr); indexed {
+				if isAppendOf(info, rhs) {
+					report(st.Pos(), "append into %s inside map iteration: element order follows random map order", types.ExprString(lhs))
+				}
+				continue
+			}
+			if isAppendOf(info, rhs) {
+				report(st.Pos(), "append into %s inside map iteration: element order follows random map order", types.ExprString(lhs))
+				continue
+			}
+			if rhs != nil && isConstExpr(info, rhs) {
+				continue // found = true style: idempotent, order-safe
+			}
+			if typeHasInfo(info, lhs, types.IsFloat) && isSelfBinary(lhs, rhs) {
+				report(st.Pos(), "float accumulation into %s inside map iteration: sum order follows random map order", types.ExprString(lhs))
+				continue
+			}
+			report(st.Pos(), "assignment to %s inside map iteration: which key wins follows random map order", types.ExprString(lhs))
+		}
+	}
+}
+
+func checkMapRangeCall(pass *Pass, rs *ast.RangeStmt, call *ast.CallExpr, report func(token.Pos, string, ...any)) {
+	info := pass.TypesInfo
+	fn := funcOf(info, call.Fun)
+	if fn == nil {
+		return
+	}
+	switch pkgPathOf(fn) {
+	case "fmt":
+		switch fn.Name() {
+		case "Print", "Println", "Printf", "Fprint", "Fprintln", "Fprintf":
+			report(call.Pos(), "fmt.%s inside map iteration: emitted text order follows random map order", fn.Name())
+		}
+	case "strings", "bytes":
+		// Write* methods on an outer Builder/Buffer.
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || fn.Type().(*types.Signature).Recv() == nil {
+			return
+		}
+		switch fn.Name() {
+		case "Write", "WriteString", "WriteByte", "WriteRune":
+			if id := rootIdent(sel.X); id != nil && declaredOutside(info, id, rs) {
+				report(call.Pos(), "%s.%s inside map iteration: emitted text order follows random map order", types.ExprString(sel.X), fn.Name())
+			}
+		}
+	}
+}
+
+// isAppendOf reports whether the expression is (or contains at its
+// root) a call to the append builtin.
+func isAppendOf(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.ObjectOf(id).(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// isConstExpr reports whether the expression has a compile-time
+// constant value (true, 0, "done", ...): assigning a constant is
+// idempotent across iterations, so order cannot matter.
+func isConstExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// isSelfBinary reports the `x = x + v` accumulation shape: the RHS is a
+// binary expression with the LHS as one operand.
+func isSelfBinary(lhs, rhs ast.Expr) bool {
+	if rhs == nil {
+		return false
+	}
+	bin, ok := ast.Unparen(rhs).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	ls := types.ExprString(lhs)
+	return types.ExprString(bin.X) == ls || types.ExprString(bin.Y) == ls
+}

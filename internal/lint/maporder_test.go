@@ -1,0 +1,17 @@
+package lint
+
+import "testing"
+
+func TestMapOrder(t *testing.T) {
+	sites := checkAnalyzer(t, MapOrder, "maporder")
+	sup := suppressedOf(sites)
+	if len(sup) != 1 {
+		t.Fatalf("got %d suppressed sites, want 1:\n%s", len(sup), siteList(sup))
+	}
+	if want := "keys are sorted immediately after collection"; sup[0].Reason != want {
+		t.Errorf("suppression reason = %q, want %q", sup[0].Reason, want)
+	}
+	if sup[0].Analyzer != "maporder" {
+		t.Errorf("suppressed site analyzer = %q, want maporder", sup[0].Analyzer)
+	}
+}

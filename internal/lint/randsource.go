@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// randConstructors are the math/rand (and v2) functions that build an
+// explicitly seeded source or generator — the only sanctioned way to
+// draw randomness. Everything else at package level draws from the
+// process-global source, whose stream depends on what other code
+// consumed before — fates would stop being a pure function of seeds.
+var randConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+	// math/rand/v2
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+// RandSource enforces the seed-purity rule: every random draw in the
+// simulator comes from a *rand.Rand constructed with an explicit,
+// documented seed (`rand.New(rand.NewSource(seed))` — see the seed
+// contracts in DETERMINISM.md), so the same seeds reproduce the same
+// world, fates and figures byte for byte. Global math/rand functions
+// (rand.Intn, rand.Float64, rand.Shuffle, rand.Seed, ...) are flagged
+// anywhere outside _test.go. Wall-clock seeding of a source is caught
+// separately by the wallclock analyzer.
+var RandSource = &Analyzer{
+	Name: "randsource",
+	Doc:  "forbids global math/rand draws; randomness must come from explicitly seeded sources",
+	Run:  runRandSource,
+}
+
+func runRandSource(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, _ := pass.TypesInfo.ObjectOf(sel.Sel).(*types.Func)
+			path := pkgPathOf(fn)
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			if fn.Type().(*types.Signature).Recv() != nil {
+				return true // methods on an explicit *rand.Rand are the sanctioned path
+			}
+			if !randConstructors[fn.Name()] {
+				pass.Report(Diagnostic{
+					Pos:     sel.Pos(),
+					Message: fmt.Sprintf("global %s.%s draws from the shared process source: use an explicitly seeded rand.New(rand.NewSource(seed))", path, fn.Name()),
+				})
+			}
+			return true
+		})
+	}
+	return nil
+}

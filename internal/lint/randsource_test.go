@@ -1,0 +1,14 @@
+package lint
+
+import "testing"
+
+func TestRandSource(t *testing.T) {
+	sites := checkAnalyzer(t, RandSource, "randsource")
+	sup := suppressedOf(sites)
+	if len(sup) != 1 {
+		t.Fatalf("got %d suppressed sites, want 1:\n%s", len(sup), siteList(sup))
+	}
+	if want := "demo-only probe; never feeds an experiment output"; sup[0].Reason != want {
+		t.Errorf("suppression reason = %q, want %q", sup[0].Reason, want)
+	}
+}

@@ -1,0 +1,29 @@
+// Package audit is the fixture for the -audit golden test: two
+// annotated (suppressed) sites plus one open finding, so the rendered
+// table exercises both row kinds.
+package audit
+
+import "time"
+
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		//cooper:maporder keys are sorted immediately after collection
+		out = append(out, k)
+	}
+	// sort.Strings(out) would run here
+	return out
+}
+
+func stamp() time.Time {
+	//cooper:wallclock report envelope only; masked before diffing
+	return time.Now()
+}
+
+func openFinding(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,32 @@
+// Package badsup holds deliberately broken //cooper: directives: an
+// annotation that suppresses nothing, one with no reason, and one
+// naming an unknown analyzer. All three must surface as findings so
+// stale or typo'd suppressions cannot silently do nothing.
+package badsup
+
+func clean(xs []float64) float64 {
+	//cooper:maporder this loop ranges a slice, so the suppression is unused
+	var total float64
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+func missingReason(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		//cooper:maporder
+		total += v
+	}
+	return total
+}
+
+func unknownDirective(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		//cooper:nosuchrule because reasons
+		total += v
+	}
+	return total
+}

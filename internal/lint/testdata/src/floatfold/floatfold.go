@@ -1,0 +1,110 @@
+// Package floatfold exercises the floatfold analyzer: float
+// accumulation into captured state inside parallel regions.
+package floatfold
+
+import "cooper/internal/parallel"
+
+func capturedFold(xs []float64) float64 {
+	var total float64
+	parallel.For(0, len(xs), func(i int) {
+		total += xs[i] // want "float accumulation into captured total inside parallel.For closure"
+	})
+	return total
+}
+
+func capturedFoldWorker(xs []float64) float64 {
+	var total float64
+	parallel.ForWorker(0, len(xs), func(w, i int) {
+		total = total + xs[i] // want "float accumulation into captured total inside parallel.ForWorker closure"
+	})
+	return total
+}
+
+func capturedFoldMapErr(xs []float64) float64 {
+	var total float64
+	_, _ = parallel.MapErrWorker(0, len(xs), func(w, i int) (int, error) {
+		total -= xs[i] // want "float accumulation into captured total inside parallel.MapErrWorker closure"
+		return i, nil
+	})
+	return total
+}
+
+type stats struct{ sum float64 }
+
+func capturedStruct(xs []float64) stats {
+	var st stats
+	parallel.For(0, len(xs), func(i int) {
+		st.sum += xs[i] // want "float accumulation into captured st.sum inside parallel.For closure"
+	})
+	return st
+}
+
+func goStmtFold(xs []float64) float64 {
+	var total float64
+	done := make(chan struct{})
+	go func() {
+		for _, x := range xs {
+			total += x // want "float accumulation into captured total inside go statement closure"
+		}
+		close(done)
+	}()
+	<-done
+	return total
+}
+
+// Negative cases.
+
+func slotWrites(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	parallel.For(0, len(xs), func(i int) {
+		out[i] = xs[i] * 2 // per-slot write: the blessed pattern
+	})
+	return out
+}
+
+func slotAccumulate(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	parallel.ForWorker(0, len(xs), func(w, i int) {
+		out[i] += xs[i] // item-local slot accumulation
+	})
+	return out
+}
+
+func localFold(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	parallel.For(0, len(xs), func(i int) {
+		local := 0.0
+		local += xs[i] // closure-local accumulator
+		out[i] = local
+	})
+	return out
+}
+
+func sequentialFold(xs []float64) float64 {
+	var total float64
+	for _, x := range xs {
+		total += x // no parallel region in sight
+	}
+	return total
+}
+
+func intCounter(xs []int) int64 {
+	var n int64
+	parallel.For(0, len(xs), func(i int) {
+		if xs[i] > 0 {
+			n++ // racy, but not a float fold: vet's own checks own races
+		}
+	})
+	return n
+}
+
+// Suppressed case.
+
+func annotatedFold(xs []float64) float64 {
+	var total float64
+	parallel.For(0, len(xs), func(i int) {
+		//cooper:floatfold workers forced to 1 on this path; fold is effectively sequential
+		total += xs[i]
+	})
+	return total
+}

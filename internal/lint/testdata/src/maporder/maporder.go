@@ -1,0 +1,140 @@
+// Package maporder exercises the maporder analyzer: positive cases
+// carry // want comments, negative cases carry none, and the
+// suppressed case carries a //cooper:maporder annotation.
+package maporder
+
+import (
+	"fmt"
+	"strings"
+)
+
+func floatAccumulation(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want "float accumulation into total inside map iteration"
+	}
+	return total
+}
+
+func floatSelfAssign(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total = total + v // want "float accumulation into total inside map iteration"
+	}
+	return total
+}
+
+func floatIncDec(m map[string]float64) float64 {
+	var count float64
+	for range m {
+		count++ // want "float \+\+ of count inside map iteration"
+	}
+	return count
+}
+
+func stringBuilding(m map[string]int) string {
+	out := ""
+	for k := range m {
+		out += k // want "string building into out inside map iteration"
+	}
+	return out
+}
+
+func appendEscaping(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "append into out inside map iteration"
+	}
+	return out
+}
+
+func appendKeyed(m map[string]int, buckets map[int][]string) {
+	for k, v := range m {
+		buckets[v] = append(buckets[v], k) // want "append into buckets\[v\] inside map iteration"
+	}
+}
+
+func printing(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) // want "fmt.Println inside map iteration"
+	}
+}
+
+func builderWrite(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want "b.WriteString inside map iteration"
+	}
+	return b.String()
+}
+
+func bestSoFar(m map[string]float64) string {
+	best, bestScore := "", -1.0
+	for k, v := range m {
+		if v > bestScore {
+			best = k      // want "assignment to best inside map iteration"
+			bestScore = v // want "assignment to bestScore inside map iteration"
+		}
+	}
+	return best
+}
+
+// Negative cases: none of these may be flagged.
+
+func intCounter(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v // integer fold: order-insensitive
+	}
+	return n
+}
+
+func constantFlag(m map[string]int) bool {
+	found := false
+	for _, v := range m {
+		if v > 3 {
+			found = true // idempotent constant write
+		}
+	}
+	return found
+}
+
+func keyedWrite(m map[string]int, out map[string]int) {
+	for k, v := range m {
+		out[k] = v * 2 // set-semantics write through the range key
+	}
+}
+
+func deleteKeyed(m map[string]int, other map[string]bool) {
+	for k := range m {
+		delete(other, k)
+	}
+}
+
+func sliceRange(xs []float64) float64 {
+	var total float64
+	for _, v := range xs {
+		total += v // slice iteration order is fixed
+	}
+	return total
+}
+
+func innerLocals(m map[string]float64) {
+	for _, v := range m {
+		total := v // fresh per-iteration variable
+		_ = total
+	}
+}
+
+// Suppressed case: the annotation silences the diagnostic and becomes
+// an audit row.
+
+func sortedAfter(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		//cooper:maporder keys are sorted immediately after collection
+		keys = append(keys, k)
+	}
+	// sort.Strings(keys) would run here
+	return keys
+}

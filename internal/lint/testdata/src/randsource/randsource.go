@@ -1,0 +1,39 @@
+// Package randsource exercises the randsource analyzer.
+package randsource
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+)
+
+func globalDraws() {
+	_ = rand.Intn(6)                   // want "global math/rand.Intn draws from the shared process source"
+	_ = rand.Float64()                 // want "global math/rand.Float64 draws from the shared process source"
+	_ = rand.Perm(4)                   // want "global math/rand.Perm draws from the shared process source"
+	rand.Shuffle(3, func(i, j int) {}) // want "global math/rand.Shuffle draws from the shared process source"
+}
+
+func v2Draws() {
+	_ = randv2.IntN(6)   // want "global math/rand/v2.IntN draws from the shared process source"
+	_ = randv2.Float64() // want "global math/rand/v2.Float64 draws from the shared process source"
+}
+
+// Negative cases: explicitly seeded sources and their methods are the
+// sanctioned path.
+
+func seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+func seededV2(a, b uint64) int {
+	rng := randv2.New(randv2.NewPCG(a, b))
+	return rng.IntN(10)
+}
+
+// Suppressed case.
+
+func legacyProbe() int {
+	//cooper:randsource demo-only probe; never feeds an experiment output
+	return rand.Int()
+}

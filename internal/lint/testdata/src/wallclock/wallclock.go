@@ -1,0 +1,49 @@
+// Package wallclock exercises the wallclock analyzer.
+package wallclock
+
+import "time"
+
+func observe() time.Time {
+	return time.Now() // want "wall-clock time.Now"
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "wall-clock time.Since"
+}
+
+func wait() {
+	time.Sleep(10 * time.Millisecond) // want "wall-clock time.Sleep"
+}
+
+func ticking() {
+	<-time.Tick(time.Second)         // want "wall-clock time.Tick"
+	t := time.NewTicker(time.Second) // want "wall-clock time.NewTicker"
+	t.Stop()
+	<-time.After(time.Second) // want "wall-clock time.After"
+}
+
+func methodValue() func() time.Time {
+	return time.Now // want "wall-clock time.Now"
+}
+
+// Negative cases: duration arithmetic, formatting and explicit
+// timestamps are sim-time-safe.
+
+func simTime(us int64) time.Duration {
+	return time.Duration(us) * time.Microsecond
+}
+
+func epoch() time.Time {
+	return time.Unix(0, 0)
+}
+
+func format(t time.Time) string {
+	return t.Format(time.RFC3339Nano)
+}
+
+// Suppressed case.
+
+func envelope() time.Time {
+	//cooper:wallclock snapshot envelope only; stripped from every diffed output
+	return time.Now()
+}

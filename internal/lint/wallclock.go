@@ -1,0 +1,59 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// wallClockFuncs are the package time functions that read or wait on
+// the machine's wall clock. time.Duration arithmetic, formatting and
+// sim-time conversions are fine; observing the host clock is not.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"Tick":      true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTicker": true,
+	"NewTimer":  true,
+}
+
+// WallClock enforces the observability contract in DETERMINISM.md:
+// metric values, episode logs and transcripts derive from sim-time
+// (schedule-model microseconds) only, so wall-clock reads are forbidden
+// outside an explicit allowlist. The allowlist is expressed in the
+// code itself: _test.go files are exempt wholesale, and intentional
+// sites — the telemetry snapshot Envelope, -times / -linger style
+// wall-clock flag paths under cmd/, the detector's perf stopwatch —
+// carry //cooper:wallclock <reason> and become audit-table rows.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "forbids time.Now/Since/Sleep/Tick and friends outside sim-time allowlisted paths",
+	Run:  runWallClock,
+}
+
+func runWallClock(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, _ := pass.TypesInfo.ObjectOf(sel.Sel).(*types.Func)
+			if pkgPathOf(fn) != "time" || fn.Type().(*types.Signature).Recv() != nil {
+				return true
+			}
+			if wallClockFuncs[fn.Name()] {
+				pass.Report(Diagnostic{
+					Pos:     sel.Pos(),
+					Message: fmt.Sprintf("wall-clock time.%s: deterministic outputs must derive from sim-time only", fn.Name()),
+				})
+			}
+			return true
+		})
+	}
+	return nil
+}

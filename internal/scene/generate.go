@@ -130,6 +130,9 @@ func Generate(p GenParams) (*Scenario, error) {
 		Scene: New(),
 		Seed:  p.Seed*1000003 + familySalt(p.Family),
 	}
+	// World-building randomness is a pure function of (Seed, Family): an
+	// explicitly seeded source, consumed in one fixed order, so the same
+	// params reproduce the same world byte for byte.
 	rng := rand.New(rand.NewSource(p.Seed*7919 + familySalt(p.Family)))
 	// Motion randomness comes from its own stream so that adding the time
 	// axis leaves the static world (and every golden keyed to it) byte-

@@ -151,10 +151,10 @@ func (d *Detector) DetectWithStatsScratch(cloud *pointcloud.Cloud, s *DetectorSc
 	}
 	var st Stats
 	st.InputPoints = cloud.Len()
-	start := time.Now()
+	start := nowWall()
 	tensor, grid, nonGround, groundZ := d.frontHalf(cloud, s, &st)
 	dets := d.backHalf(tensor, grid, nonGround, groundZ, nil, s, &st)
-	st.Total = time.Since(start)
+	st.Total = sinceWall(start)
 	return dets, st
 }
 
@@ -167,7 +167,7 @@ func (d *Detector) frontHalf(cloud *pointcloud.Cloud, s *DetectorScratch, st *St
 	// Stage 1 — preprocessing: spherical projection to a dense, deduped
 	// representation (SqueezeSeg-style) for single-origin clouds, or an
 	// origin-free voxel dedup for merged ones; then ground removal.
-	t0 := time.Now()
+	t0 := nowWall()
 	work := cloud
 	if d.cfg.UseSpherical {
 		sph := d.cfg.Spherical
@@ -180,20 +180,20 @@ func (d *Detector) frontHalf(cloud *pointcloud.Cloud, s *DetectorScratch, st *St
 	groundZ := work.EstimateGroundZ()
 	nonGround := work.RemoveGroundPlaneInto(s.groundCloud(), groundZ, d.cfg.GroundTolerance)
 	st.NonGroundPoints = nonGround.Len()
-	st.PreprocessTime = time.Since(t0)
+	st.PreprocessTime = sinceWall(t0)
 
 	// Stage 2 — voxel feature encoding.
-	t0 = time.Now()
+	t0 = nowWall()
 	grid := voxelize(nonGround, d.cfg.VoxelSizeXY, d.cfg.VoxelSizeZ, groundZ, d.cfg.Workers, s)
 	st.VoxelCount = grid.OccupiedVoxels()
-	st.VoxelTime = time.Since(t0)
+	st.VoxelTime = sinceWall(t0)
 
 	// Stage 3 — sparse convolutional middle layers.
-	t0 = time.Now()
+	t0 = nowWall()
 	tensor, featA := toSparseTensor(grid, s.featA)
 	s.featA = featA
 	tensor = runMiddleLayers(tensor, d.cfg.MiddleLayers, s)
-	st.ConvTime = time.Since(t0)
+	st.ConvTime = sinceWall(t0)
 	return tensor, grid, nonGround, groundZ
 }
 
@@ -205,16 +205,16 @@ func (d *Detector) frontHalf(cloud *pointcloud.Cloud, s *DetectorScratch, st *St
 // appended after the receiver's own points in the fixed column order.
 func (d *Detector) backHalf(tensor *SparseTensor, grid *VoxelGrid, nonGround *pointcloud.Cloud, groundZ float64, ps *pseudoSet, s *DetectorScratch, st *Stats) []Detection {
 	// Stage 4 — BEV projection and region proposal.
-	t0 := time.Now()
+	t0 := nowWall()
 	s.bevObj = grow(s.bevObj, len(tensor.Cols))
 	s.bevTop = grow(s.bevTop, len(tensor.Cols))
 	bev := projectBEVInto(tensor, grid, s.bevObj, s.bevTop)
 	props := proposalComponentsScratch(bev, d.cfg.ObjectnessThreshold, s)
 	st.ProposalCount = props.Len()
-	st.ProposalTime = time.Since(t0)
+	st.ProposalTime = sinceWall(t0)
 
 	// Stage 5 — anchor fitting, scoring, fragment merging, NMS.
-	t0 = time.Now()
+	t0 = nowWall()
 	pool := s.pool[:0]
 	for ci := 0; ci < props.Len(); ci++ {
 		idxs := s.ptBuf[:0]
@@ -307,7 +307,7 @@ func (d *Detector) backHalf(tensor *SparseTensor, grid *VoxelGrid, nonGround *po
 		copy(out, kept)
 	}
 	s.dets = dets[:0]
-	st.FitTime = time.Since(t0)
+	st.FitTime = sinceWall(t0)
 	return out
 }
 

@@ -3,7 +3,6 @@ package spod
 import (
 	"math"
 	"slices"
-	"time"
 
 	"cooper/internal/geom"
 	"cooper/internal/pointcloud"
@@ -170,15 +169,15 @@ func (d *Detector) DetectWithFeaturesScratch(cloud *pointcloud.Cloud, remotes []
 	}
 	var st Stats
 	st.InputPoints = cloud.Len()
-	start := time.Now()
+	start := nowWall()
 	tensor, grid, nonGround, groundZ := d.frontHalf(cloud, s, &st)
 
-	t0 := time.Now()
+	t0 := nowWall()
 	fused, ps := fuseFeatureTensors(tensor, grid, groundZ, remotes, s)
-	st.ConvTime += time.Since(t0)
+	st.ConvTime += sinceWall(t0)
 
 	dets := d.backHalf(fused, grid, nonGround, groundZ, ps, s, &st)
-	st.Total = time.Since(start)
+	st.Total = sinceWall(start)
 	return dets, st
 }
 

@@ -1,0 +1,23 @@
+package spod
+
+import "time"
+
+// Detector stage timings are the one place spod reads the wall clock:
+// DetectionStats powers the perf report behind coopersim's -times flag
+// and the benchmarks, and never reaches a golden, transcript, metric
+// or episode log — those derive from sim-time only (see
+// docs/DETERMINISM.md). Funneling every stopwatch read through these
+// two helpers keeps the wallclock audit to two annotated sites instead
+// of one per detector stage.
+
+// nowWall starts a stage stopwatch.
+func nowWall() time.Time {
+	//cooper:wallclock detector stage stopwatch; stats print only behind -times, never in goldens
+	return time.Now()
+}
+
+// sinceWall reads a stage stopwatch started by nowWall.
+func sinceWall(t0 time.Time) time.Duration {
+	//cooper:wallclock detector stage stopwatch; stats print only behind -times, never in goldens
+	return time.Since(t0)
+}

@@ -224,6 +224,7 @@ type Snapshot struct {
 // current wall-clock; everything else is a pure copy of deterministic
 // values.
 func (r *Registry) Snapshot() Snapshot {
+	//cooper:wallclock the snapshot Envelope is the one sanctioned wall-clock site; MaskEnvelope strips it for diffs
 	now := time.Now()
 	s := Snapshot{Envelope: Envelope{
 		CapturedAt:       now.UTC().Format(time.RFC3339Nano),
@@ -235,9 +236,11 @@ func (r *Registry) Snapshot() Snapshot {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for name, c := range r.counters {
+		//cooper:maporder metrics are sorted by name before the snapshot is rendered
 		s.Metrics = append(s.Metrics, Metric{Name: name, Kind: "counter", Value: c.Value()})
 	}
 	for name, g := range r.gauges {
+		//cooper:maporder metrics are sorted by name before the snapshot is rendered
 		s.Metrics = append(s.Metrics, Metric{Name: name, Kind: "gauge", Value: g.Value()})
 	}
 	for name, h := range r.hists {
@@ -246,6 +249,7 @@ func (r *Registry) Snapshot() Snapshot {
 		for i := range h.counts {
 			m.Counts = append(m.Counts, h.counts[i].Load())
 		}
+		//cooper:maporder metrics are sorted by name before the snapshot is rendered
 		s.Metrics = append(s.Metrics, m)
 	}
 	sort.Slice(s.Metrics, func(i, j int) bool { return s.Metrics[i].Name < s.Metrics[j].Name })

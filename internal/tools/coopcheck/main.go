@@ -1,11 +1,15 @@
-// Command coopcheck is a development diagnostic: it runs every
-// cooperative case of the evaluation suite and prints per-case detection
-// counts, accuracies, latencies and payloads, flagging any row where a
-// car detected by a single shot is lost in the cooperative pass.
+// Command coopcheck is a development diagnostic and CI canary: it runs
+// every cooperative case of the evaluation suite and prints per-case
+// detection counts, accuracies, latencies and payloads, flagging any
+// row where a car detected by a single shot is lost in the cooperative
+// pass. It exits nonzero when any such regression exists, so a CI job
+// can run it bare.
 package main
 
 import (
+	"flag"
 	"fmt"
+	"os"
 
 	"cooper/internal/core"
 	"cooper/internal/eval"
@@ -13,12 +17,16 @@ import (
 )
 
 func main() {
+	workers := flag.Int("workers", 0, "case evaluation goroutines (0 = one per CPU)")
+	flag.Parse()
+
 	totalRows, improved, recovered, regressions := 0, 0, 0, 0
 	for _, sc := range scene.AllScenarios() {
-		r := core.NewScenarioRunner(sc)
+		r := core.NewScenarioRunner(sc).SetWorkers(*workers)
 		outcomes, err := r.RunAll(core.RunOptions{})
 		if err != nil {
-			panic(err)
+			fmt.Fprintf(os.Stderr, "coopcheck: %s: %v\n", sc.Name, err)
+			os.Exit(1)
 		}
 		for _, o := range outcomes {
 			nI := eval.CountDetected(cellsOf(o, 0))
@@ -54,6 +62,9 @@ func main() {
 		}
 	}
 	fmt.Printf("\nrows=%d improved=%d hard-recovered=%d regressions=%d\n", totalRows, improved, recovered, regressions)
+	if regressions > 0 {
+		os.Exit(1)
+	}
 }
 
 func cellsOf(o *core.CaseOutcome, col int) []eval.Cell {
